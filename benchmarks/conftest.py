@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper artifact (table or figure) through
+the experiment harness, times it with pytest-benchmark, and writes the
+rendered result to ``benchmarks/results/<id>.txt`` so the regenerated
+tables are inspectable after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentResult
+from repro.experiments.context import ReproContext
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ReproContext:
+    """Shared context: full-resolution grid, the paper's seed."""
+    return ReproContext(seed=2009, dt=1.0)
+
+
+@pytest.fixture(scope="session")
+def ctx_fast() -> ReproContext:
+    """Coarser grid for the heavier sweeps (table5/6, frontier)."""
+    return ReproContext(seed=2009, dt=2.0)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Write an experiment's rendered output under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(result: ExperimentResult) -> None:
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.render() + "\n", encoding="utf-8")
+
+    return _save

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 1 (latency cdf vs sub-cdf)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig1(benchmark, ctx, save_result):
+    result = benchmark(lambda: run_experiment("fig1", ctx=ctx))
+    save_result(result)
+    (bundle,) = result.figures
+    assert bundle.get("F_R").y.max() > bundle.get("F~_R = (1-rho) F_R").y.max()

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 2 (E_J profiles for b = 1..10)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig2(benchmark, ctx, save_result):
+    result = benchmark(lambda: run_experiment("fig2", ctx=ctx, b_max=10))
+    save_result(result)
+    (bundle,) = result.figures
+    assert len(bundle) == 10

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 3 (min E_J and sigma_J vs b, all datasets)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig3(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", ctx=ctx, b_max=10),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    ej_bundle, sj_bundle = result.figures
+    assert len(ej_bundle) == 13 and len(sj_bundle) == 13

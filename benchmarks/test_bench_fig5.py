@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 5 (delayed E_J surface and its minimum)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig5(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig5", ctx=ctx, n_slices=8),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    (bundle,) = result.figures
+    assert len(bundle) == 8

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 6 (E_J vs N_// frontier)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_fig6(benchmark, ctx, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", ctx=ctx, b_max=5),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    (bundle,) = result.figures
+    assert len(bundle) == 2

@@ -1,0 +1,41 @@
+"""Benchmarks: DES validation, fleet-adoption extension, raw DES throughput."""
+
+from repro.experiments import run_experiment
+from repro.gridsim import GridSimulator, ProbeExperiment, default_grid_config
+
+
+def test_bench_val_des(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("val-des", n_tasks=120, probe_days=1.5),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    (table,) = result.tables
+    ratios = [float(r["ratio"]) for r in table.as_dicts()]
+    assert all(0.4 < r < 2.5 for r in ratios)
+
+
+def test_bench_adoption_sweep(benchmark, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("abl-adopt"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    (table,) = result.tables
+    assert len(table.rows) == 4
+
+
+def test_bench_des_probe_throughput(benchmark):
+    """Raw DES speed: one simulated probe-day on the default grid."""
+
+    def campaign():
+        grid = GridSimulator(default_grid_config(), seed=5)
+        grid.warm_up(6 * 3600.0)
+        return ProbeExperiment(grid, n_slots=20).run(86_400.0)
+
+    trace = benchmark.pedantic(campaign, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(trace) > 100

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Table 1 (latency statistics for 13 trace sets)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table1(benchmark, ctx, save_result):
+    result = benchmark(lambda: run_experiment("table1", ctx=ctx))
+    save_result(result)
+    (table,) = result.tables
+    assert len(table.rows) == 13

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 4 (delta_cost of both strategies)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table4(benchmark, ctx_fast, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", ctx=ctx_fast),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    delayed_table, multi_table = result.tables
+    assert len(delayed_table.rows) == 10
+    assert len(multi_table.rows) == 14

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 5 (per-week cost optima + stability)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table5(benchmark, ctx_fast, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5", ctx=ctx_fast, radius=5),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    (table,) = result.tables
+    assert len(table.rows) == 12

@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Table 6 (cross-week parameter transfer)."""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_table6(benchmark, ctx_fast, save_result):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table6", ctx=ctx_fast),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    save_result(result)
+    matrix, summary = result.tables
+    assert len(summary.rows) == 7
+    assert len(matrix.rows) == 49  # 7 targets x 7 sources

@@ -1,0 +1,21 @@
+"""Benchmark: the end-to-end submission planner (trace -> recommendation)."""
+
+from repro.workflow import plan_submissions
+
+
+def test_bench_plan_submissions(benchmark, ctx_fast):
+    model = ctx_fast.model("2006-IX")
+
+    plan = benchmark.pedantic(
+        lambda: plan_submissions(
+            model,
+            max_parallel=3.0,
+            deadline_quantile=0.95,
+            t0_window=(100.0, 1500.0),
+        ),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert plan.candidates
+    assert plan.best.e_j > 0

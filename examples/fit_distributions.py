@@ -1,0 +1,52 @@
+"""Fit and select heavy-tailed latency models on trace data.
+
+Run with::
+
+    python examples/fit_distributions.py
+
+The workflow used on Grid Workloads Archive traces: extract the
+non-outlier latencies of a trace set, fit the standard parametric
+families by maximum likelihood, rank them by AIC/BIC/KS, and compare the
+best fit's strategy predictions against the ECDF-based ones.
+"""
+
+from repro import LatencyModel, optimize_single, synthesize_week
+from repro.distributions import select_model
+
+
+def main() -> None:
+    trace = synthesize_week("2007-51", seed=7)
+    latencies = trace.successful_latencies
+    print(f"trace {trace.name}: {len(trace)} probes, "
+          f"{trace.n_outliers} outliers (rho = {trace.outlier_ratio:.3f})\n")
+
+    print("model selection on non-outlier latencies (AIC ranking):")
+    ranked = select_model(latencies, criterion="aic")
+    for res in ranked:
+        print("  " + res.summary())
+
+    best = ranked[0]
+    print(f"\nbest family: {best.family}")
+
+    # strategy prediction: parametric fit vs the empirical cdf
+    parametric = LatencyModel(
+        best.distribution, rho=trace.outlier_ratio, name="parametric"
+    ).on_grid()
+    empirical = trace.to_latency_model().on_grid()
+
+    p_opt = optimize_single(parametric)
+    e_opt = optimize_single(empirical)
+    print(
+        f"\nsingle-resubmission optimum:\n"
+        f"  parametric model : t_inf = {p_opt.t_inf:6.0f}s,"
+        f" E_J = {p_opt.e_j:6.0f}s\n"
+        f"  empirical model  : t_inf = {e_opt.t_inf:6.0f}s,"
+        f" E_J = {e_opt.e_j:6.0f}s"
+    )
+    gap = abs(p_opt.e_j - e_opt.e_j) / e_opt.e_j
+    print(f"  prediction gap   : {gap:.1%} "
+          "(small gap = the family captures the tail that matters)")
+
+
+if __name__ == "__main__":
+    main()

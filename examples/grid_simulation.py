@@ -1,0 +1,71 @@
+"""Measure, model and verify strategies on the discrete-event grid.
+
+Run with::
+
+    python examples/grid_simulation.py
+
+Replays the paper's full methodology on a mechanistic EGEE-like
+simulator: a constant-probe measurement campaign (section 3.2), the
+empirical latency model, analytic strategy optimisation, and finally the
+strategies *executed* on fresh copies of the same grid to verify the
+predictions.
+"""
+
+from repro.core import optimize_multiple, optimize_single
+from repro.core.strategies import MultipleSubmission, SingleResubmission
+from repro.gridsim import (
+    GridSimulator,
+    ProbeExperiment,
+    default_grid_config,
+    run_strategy_on_grid,
+)
+from repro.util.grids import TimeGrid
+
+
+def main() -> None:
+    config = default_grid_config()
+    print(
+        f"grid: {len(config.sites)} sites, "
+        f"{sum(s.n_cores for s in config.sites)} cores, "
+        f"fault rho = {config.faults.rho:.3f}"
+    )
+
+    # 1. measurement campaign (paper section 3.2)
+    grid = GridSimulator(config, seed=11)
+    grid.warm_up(12 * 3600.0)
+    print(f"after warm-up: utilization {grid.utilization():.0%}, "
+          f"{grid.total_queue_length()} jobs queued")
+
+    trace = ProbeExperiment(grid, n_slots=20, timeout=6000.0).run(2 * 86_400.0)
+    print(f"probe campaign: {trace.describe()}\n")
+
+    # 2. model + analytic optimisation
+    model = trace.to_latency_model().on_grid(TimeGrid(t_max=6000.0, dt=1.0))
+    single = optimize_single(model)
+    multi = optimize_multiple(model, 3)
+    print(f"analytic: single t_inf = {single.t_inf:.0f}s -> {single.e_j:.0f}s; "
+          f"burst b=3 t_inf = {multi.t_inf:.0f}s -> {multi.e_j:.0f}s")
+
+    # 3. execute both strategies on fresh same-seed grids
+    for label, strategy, predicted in (
+        ("single", SingleResubmission(t_inf=single.t_inf), single.e_j),
+        ("burst b=3", MultipleSubmission(b=3, t_inf=multi.t_inf), multi.e_j),
+    ):
+        fresh = GridSimulator(config, seed=11)
+        fresh.warm_up(12 * 3600.0)
+        outcome = run_strategy_on_grid(
+            fresh, strategy, 150, task_interval=400.0, runtime=120.0
+        )
+        print(
+            f"executed {label:10s}: realised E_J = {outcome.mean_j:6.0f}s "
+            f"(predicted {predicted:6.0f}s, ratio "
+            f"{outcome.mean_j / predicted:.2f}), "
+            f"{outcome.mean_jobs:.2f} jobs/task"
+        )
+
+    print("\nprediction ratios near 1 confirm the probe-based workflow on a"
+          " mechanistic grid.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,112 @@
+"""Perturbation stability of delayed-strategy optima (§7.1, Table 5).
+
+The paper checks that the ``Δcost`` minimum is usable in practice by
+perturbing the optimal integer ``(t0, t∞)`` within a ±5 s box and
+reporting the worst ``Δcost`` and its relative distance from the
+optimum.  A flat neighbourhood means a client can deploy slightly wrong
+timeouts safely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost import delta_cost
+from repro.core.model import GriddedLatencyModel
+from repro.core.strategies.delayed import delayed_moments, n_parallel_for_latency
+
+__all__ = ["StabilityReport", "stability_analysis"]
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Worst-case Δcost in a box around an optimum.
+
+    Attributes
+    ----------
+    t0, t_inf:
+        The centre point (the optimum under study, s).
+    cost_center:
+        ``Δcost`` at the centre.
+    cost_max:
+        Worst ``Δcost`` over the perturbation box.
+    relative_diff:
+        ``(cost_max - cost_center) / cost_center``.
+    n_evaluated:
+        Number of feasible perturbed points.
+    """
+
+    t0: float
+    t_inf: float
+    cost_center: float
+    cost_max: float
+    relative_diff: float
+    n_evaluated: int
+
+
+def stability_analysis(
+    model: GriddedLatencyModel,
+    t0: float,
+    t_inf: float,
+    e_j_single: float,
+    *,
+    radius: int = 5,
+) -> StabilityReport:
+    """Evaluate ``Δcost`` over the ±``radius`` integer box around ``(t0, t∞)``.
+
+    Infeasible perturbations (violating ``t0 <= t∞ <= 2·t0`` or leaving
+    the grid) are skipped, matching the paper's integer-second study.
+
+    Parameters
+    ----------
+    model:
+        Gridded latency model of the period.
+    t0, t_inf:
+        Centre point (seconds; should lie on the grid).
+    e_j_single:
+        Optimal single-resubmission ``E_J`` of the same period (Eq. 6
+        denominator).
+    radius:
+        Box half-width in grid steps (the paper uses 5 s).
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be >= 0, got {radius}")
+    if e_j_single <= 0:
+        raise ValueError(f"e_j_single must be > 0, got {e_j_single}")
+    grid = model.grid
+    k0_c = grid.index_of(t0)
+    ki_c = grid.index_of(t_inf)
+
+    def cost_at(k0: int, ki: int) -> float | None:
+        if not (1 <= k0 < grid.n and k0 <= ki <= min(2 * k0, grid.n - 1)):
+            return None
+        tt0 = grid.time_of(k0)
+        tti = grid.time_of(ki)
+        e_j = delayed_moments(model, tt0, tti).expectation
+        if not (e_j > 0 and e_j < float("inf")):
+            return None
+        n_par = float(n_parallel_for_latency(e_j, tt0, tti))
+        return delta_cost(n_par, e_j, e_j_single)
+
+    center = cost_at(k0_c, ki_c)
+    if center is None:
+        raise ValueError(
+            f"centre point (t0={t0}, t_inf={t_inf}) is infeasible on this grid"
+        )
+    worst = center
+    n_eval = 0
+    for dk0 in range(-radius, radius + 1):
+        for dki in range(-radius, radius + 1):
+            value = cost_at(k0_c + dk0, ki_c + dki)
+            if value is None:
+                continue
+            n_eval += 1
+            worst = max(worst, value)
+    return StabilityReport(
+        t0=t0,
+        t_inf=t_inf,
+        cost_center=center,
+        cost_max=worst,
+        relative_diff=(worst - center) / center,
+        n_evaluated=n_eval,
+    )

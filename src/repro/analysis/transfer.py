@@ -1,0 +1,101 @@
+"""Cross-period transfer of optimised timeouts (§7.2, Table 6).
+
+In practice a user must pick ``(t0, t∞)`` *before* submitting, using the
+previous period's traces.  This module evaluates a set of parameter pairs
+(each optimal for some period) against every period's latency model and
+reports the ``E_J`` / ``Δcost`` each pair would have achieved — the
+paper's argument that last week's optimum is at most a few percent off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.cost import delta_cost
+from repro.core.model import GriddedLatencyModel
+from repro.core.strategies.delayed import delayed_moments, n_parallel_for_latency
+
+__all__ = ["TransferCell", "transfer_matrix"]
+
+
+@dataclass(frozen=True)
+class TransferCell:
+    """Outcome of applying one period's timeouts to another period.
+
+    Attributes
+    ----------
+    target:
+        Period whose latency model is evaluated.
+    source:
+        Period whose optimal ``(t0, t∞)`` was applied.
+    t0, t_inf:
+        The applied timeouts (s).
+    e_j:
+        Expected total latency achieved (s).
+    cost:
+        ``Δcost`` against the *target* period's optimal single
+        resubmission.
+    """
+
+    target: str
+    source: str
+    t0: float
+    t_inf: float
+    e_j: float
+    cost: float
+
+
+def transfer_matrix(
+    models: Mapping[str, GriddedLatencyModel],
+    params: Mapping[str, tuple[float, float]],
+    singles: Mapping[str, float],
+    *,
+    targets: Sequence[str] | None = None,
+) -> list[TransferCell]:
+    """Evaluate every (target period × source parameters) combination.
+
+    Parameters
+    ----------
+    models:
+        Gridded latency model per period name.
+    params:
+        ``(t0, t∞)`` per source period (its own optimum).
+    singles:
+        Optimal single-resubmission ``E_J`` per period (for Eq. 6).
+    targets:
+        Subset of periods to evaluate (default: all in ``models``).
+
+    Returns
+    -------
+    list[TransferCell]
+        Cells in (target, source) iteration order; infeasible
+        combinations (timeouts outside a period's grid) are skipped.
+    """
+    if not params:
+        raise ValueError("need at least one source parameter pair")
+    chosen = list(targets) if targets is not None else list(models)
+    cells: list[TransferCell] = []
+    for target in chosen:
+        model = models[target]
+        reference = singles[target]
+        for source, (t0, t_inf) in params.items():
+            try:
+                moments = delayed_moments(model, t0, t_inf)
+            except ValueError:
+                continue
+            e_j = moments.expectation
+            n_par = float(n_parallel_for_latency(e_j, t0, t_inf))
+            cells.append(
+                TransferCell(
+                    target=target,
+                    source=source,
+                    t0=t0,
+                    t_inf=t_inf,
+                    e_j=e_j,
+                    cost=delta_cost(n_par, e_j, reference),
+                )
+            )
+    if not cells:
+        raise ValueError("no feasible (target, source) combination")
+    return cells

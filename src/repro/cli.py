@@ -1,0 +1,131 @@
+"""Command-line interface: list and run reproduction experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2 --seed 2009 --dt 1.0
+    python -m repro run all --out results/
+    python -m repro describe 2006-IX
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro._version import __version__
+from repro.experiments import get_context, list_experiments, run_experiment
+from repro.traces.paper import PAPER_TABLE1, synthesize_week
+
+__all__ = ["main", "build_parser"]
+
+#: experiments that need no ReproContext (they build their own DES grids)
+_CONTEXT_FREE = {"val-des", "abl-adopt"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Modeling user submission strategies on "
+            "production grids' (HPDC 2009)"
+        ),
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id from 'list', or 'all'")
+    run_p.add_argument(
+        "--seed", type=int, default=2009, help="trace-synthesis seed"
+    )
+    run_p.add_argument(
+        "--dt",
+        type=float,
+        default=1.0,
+        help="time-grid resolution in seconds (coarser = faster)",
+    )
+    run_p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="directory to write rendered results into (one .txt per id)",
+    )
+
+    desc_p = sub.add_parser("describe", help="describe a paper trace set")
+    desc_p.add_argument("week", help="trace-set name, e.g. 2006-IX")
+    desc_p.add_argument("--seed", type=int, default=2009)
+
+    return parser
+
+
+def _cmd_list(out) -> int:
+    for exp_id in list_experiments():
+        out.write(exp_id + "\n")
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    targets = list_experiments() if args.experiment == "all" else [args.experiment]
+    unknown = [t for t in targets if t not in list_experiments()]
+    if unknown:
+        out.write(
+            f"error: unknown experiment(s): {', '.join(unknown)}\n"
+            f"available: {', '.join(list_experiments())}\n"
+        )
+        return 2
+    ctx = get_context(seed=args.seed, dt=args.dt)
+    if args.out is not None:
+        args.out.mkdir(parents=True, exist_ok=True)
+    for exp_id in targets:
+        result = (
+            run_experiment(exp_id)
+            if exp_id in _CONTEXT_FREE
+            else run_experiment(exp_id, ctx=ctx)
+        )
+        text = result.render()
+        if args.out is not None:
+            (args.out / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
+            out.write(f"wrote {args.out / (exp_id + '.txt')}\n")
+        else:
+            out.write(text + "\n\n")
+    return 0
+
+
+def _cmd_describe(args, out) -> int:
+    if args.week not in PAPER_TABLE1:
+        out.write(
+            f"error: unknown trace set {args.week!r}; available: "
+            f"{', '.join(PAPER_TABLE1)}\n"
+        )
+        return 2
+    stats = PAPER_TABLE1[args.week]
+    out.write(
+        f"{args.week}: paper statistics — mean<1e4 {stats.mean_less:.0f}s, "
+        f"bounded mean {stats.mean_with:.0f}s, sigma_R {stats.sigma_r:.0f}s, "
+        f"rho {stats.rho:.3f}\n"
+    )
+    if args.week != "2007/08":
+        trace = synthesize_week(args.week, seed=args.seed)
+        out.write(f"synthesized: {trace.describe()}\n")
+    else:
+        out.write("(the 2007/08 aggregate is the union of the weekly sets)\n")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "describe":
+        return _cmd_describe(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

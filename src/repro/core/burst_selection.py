@@ -1,0 +1,80 @@
+"""Burst-size selection: the smallest ``b`` meeting a performance target.
+
+Table 2's diminishing returns imply a natural question the paper leaves
+to the reader: *how many copies do I actually need?*  These helpers
+answer it for an expectation target ("E_J below X seconds") and for a
+deadline target ("q of jobs started within D seconds"), always returning
+the cheapest burst size that works.
+"""
+
+from __future__ import annotations
+
+from repro.core.distribution_of_j import multiple_survival, survival_to_quantile
+from repro.core.model import GriddedLatencyModel
+from repro.core.optimize import optimize_multiple
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["smallest_b_for_expectation", "smallest_b_for_deadline"]
+
+
+def smallest_b_for_expectation(
+    model: GriddedLatencyModel,
+    target_e_j: float,
+    *,
+    b_max: int = 64,
+) -> tuple[int, float]:
+    """Smallest burst size whose optimal ``E_J`` is below the target.
+
+    Returns ``(b, e_j)``.
+
+    Raises
+    ------
+    ValueError
+        If even ``b_max`` copies cannot reach the target (it may sit
+        below the latency floor — no amount of redundancy helps).
+    """
+    check_positive("target_e_j", target_e_j)
+    if b_max < 1:
+        raise ValueError(f"b_max must be >= 1, got {b_max}")
+    for b in range(1, b_max + 1):
+        opt = optimize_multiple(model, b)
+        if opt.e_j <= target_e_j:
+            return b, opt.e_j
+    raise ValueError(
+        f"target E_J = {target_e_j:g}s unreachable with b <= {b_max} "
+        f"(best achieved: {opt.e_j:.1f}s — the latency floor may be higher "
+        "than the target)"
+    )
+
+
+def smallest_b_for_deadline(
+    model: GriddedLatencyModel,
+    deadline: float,
+    quantile: float = 0.95,
+    *,
+    b_max: int = 64,
+) -> tuple[int, float]:
+    """Smallest burst size starting ``quantile`` of jobs within ``deadline``.
+
+    The per-``b`` timeout is the ``E_J``-optimal one (as a user would
+    deploy); returns ``(b, achieved_quantile_latency)``.
+    """
+    check_positive("deadline", deadline)
+    check_in_range("quantile", quantile, 0.0, 1.0, inclusive=(False, False))
+    if b_max < 1:
+        raise ValueError(f"b_max must be >= 1, got {b_max}")
+    best = float("inf")
+    for b in range(1, b_max + 1):
+        opt = optimize_multiple(model, b)
+        surv = multiple_survival(model, b, opt.t_inf)
+        try:
+            q_latency = survival_to_quantile(model, surv, quantile)
+        except ValueError:
+            continue  # quantile beyond the grid for this b
+        best = min(best, q_latency)
+        if q_latency <= deadline:
+            return b, q_latency
+    raise ValueError(
+        f"deadline {deadline:g}s at quantile {quantile:g} unreachable with "
+        f"b <= {b_max} (best achieved: {best:.1f}s)"
+    )

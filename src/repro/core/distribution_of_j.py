@@ -1,0 +1,130 @@
+"""Full distribution of the total latency ``J`` under each strategy.
+
+The paper reports only the first two moments of ``J``; for deadline-aware
+planning (e.g. "which strategy gets 95 % of my jobs started within 20
+minutes?") the whole law is needed.  This module tabulates ``P(J > t)``
+on the model grid for all three strategies — the single/multiple cases
+are lattice distributions over resubmission rounds, the delayed case
+reuses the piecewise product form of :mod:`repro.core.strategies.delayed`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import GriddedLatencyModel
+from repro.core.strategies.delayed import delayed_survival
+from repro.util.validation import check_in_range
+
+__all__ = [
+    "single_survival",
+    "multiple_survival",
+    "survival_to_quantile",
+    "strategy_quantile",
+]
+
+
+def _rounds_survival(
+    model: GriddedLatencyModel, batch_survival: np.ndarray, k_inf: int
+) -> np.ndarray:
+    """``P(J > t)`` for a cancel-and-resubmit process with round length
+    ``t∞`` and per-round batch survival ``batch_survival`` (a tabulated
+    ``P(min of batch > u)`` for ``u`` in one round).
+
+    Within round ``m`` (``t = m·t∞ + u``, ``u ∈ [0, t∞)``):
+    ``P(J > t) = q^m · batch_survival(u)`` with ``q = batch_survival(t∞)``.
+    """
+    n = model.grid.n
+    q = float(batch_survival[k_inf])
+    out = np.empty(n)
+    qm = 1.0
+    start = 0
+    while start < n:
+        stop = min(start + k_inf, n)
+        out[start:stop] = qm * batch_survival[: stop - start]
+        qm *= q
+        start = stop
+        if qm < 1e-300:
+            out[start:] = 0.0
+            break
+    return out
+
+
+def single_survival(model: GriddedLatencyModel, t_inf: float) -> np.ndarray:
+    """``P(J > t_k)`` for single resubmission at timeout ``t∞``."""
+    k = model.index_of(t_inf)
+    if k < 1:
+        raise ValueError(f"t_inf={t_inf} is below the grid resolution")
+    return _rounds_survival(model, model.S, k)
+
+
+def multiple_survival(
+    model: GriddedLatencyModel, b: int, t_inf: float
+) -> np.ndarray:
+    """``P(J > t_k)`` for the ``b``-burst strategy at timeout ``t∞``."""
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    k = model.index_of(t_inf)
+    if k < 1:
+        raise ValueError(f"t_inf={t_inf} is below the grid resolution")
+    return _rounds_survival(model, model.S**b, k)
+
+
+def survival_to_quantile(
+    model: GriddedLatencyModel, survival: np.ndarray, q: float
+) -> float:
+    """The ``q``-quantile of ``J`` from its tabulated survival function.
+
+    Parameters
+    ----------
+    model:
+        The gridded model the survival was tabulated on.
+    survival:
+        ``P(J > t_k)`` array of grid length, non-increasing.
+    q:
+        Quantile level in ``(0, 1)``; must be reachable on the grid
+        (``P(J <= t_max) >= q``).
+    """
+    check_in_range("q", q, 0.0, 1.0, inclusive=(False, False))
+    cdf = 1.0 - np.asarray(survival)
+    if cdf[-1] < q:
+        raise ValueError(
+            f"quantile {q} not reached on the grid "
+            f"(P(J <= t_max) = {cdf[-1]:.6f})"
+        )
+    idx = int(np.searchsorted(cdf, q, side="left"))
+    if idx == 0:
+        return 0.0
+    # linear interpolation inside the bracketing cell
+    c0, c1 = cdf[idx - 1], cdf[idx]
+    t0, t1 = model.times[idx - 1], model.times[idx]
+    if c1 <= c0:
+        return float(t1)
+    return float(t0 + (q - c0) / (c1 - c0) * (t1 - t0))
+
+
+def strategy_quantile(
+    model: GriddedLatencyModel,
+    strategy,
+    q: float,
+) -> float:
+    """``q``-quantile of ``J`` for any of the three strategy objects.
+
+    Dispatches on the strategy type (single / multiple / delayed) and
+    evaluates the corresponding survival tabulation.
+    """
+    from repro.core.strategies import (
+        DelayedResubmission,
+        MultipleSubmission,
+        SingleResubmission,
+    )
+
+    if isinstance(strategy, SingleResubmission):
+        surv = single_survival(model, strategy.t_inf)
+    elif isinstance(strategy, MultipleSubmission):
+        surv = multiple_survival(model, strategy.b, strategy.t_inf)
+    elif isinstance(strategy, DelayedResubmission):
+        surv = delayed_survival(model, strategy.t0, strategy.t_inf)
+    else:
+        raise TypeError(f"unsupported strategy type {type(strategy).__name__}")
+    return survival_to_quantile(model, surv, q)

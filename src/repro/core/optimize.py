@@ -1,0 +1,345 @@
+"""Timeout optimisation for the three strategies.
+
+All optimisers are exhaustive vectorised sweeps over the model grid
+(`integer-second timeouts, as in the paper §7.1`), optionally restricted
+to a search window.  The delayed-strategy optimisers use a two-stage
+coarse→fine sweep over ``t0`` because each ``t0`` candidate costs one O(n)
+vector pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cost import delta_cost
+from repro.core.model import GriddedLatencyModel
+from repro.core.strategies.delayed import (
+    delayed_expectation_for_t0,
+    delayed_moments,
+    n_parallel_for_latency,
+)
+from repro.core.strategies.multiple import (
+    multiple_expectation_sweep,
+    multiple_moments,
+)
+from repro.core.strategies.single import single_expectation_sweep, single_moments
+
+__all__ = [
+    "SingleOptimum",
+    "DelayedOptimum",
+    "optimize_single",
+    "optimize_multiple",
+    "optimize_delayed",
+    "optimize_delayed_ratio",
+    "optimize_delayed_cost",
+]
+
+
+@dataclass(frozen=True)
+class SingleOptimum:
+    """Optimal timeout for a one-parameter strategy (single / multiple).
+
+    Attributes
+    ----------
+    t_inf:
+        Optimal timeout (s).
+    e_j:
+        Minimal expected total latency (s).
+    sigma_j:
+        Standard deviation of the total latency at the optimum (s).
+    """
+
+    t_inf: float
+    e_j: float
+    sigma_j: float
+
+
+@dataclass(frozen=True)
+class DelayedOptimum:
+    """Optimal ``(t0, t∞)`` for the delayed strategy.
+
+    Attributes
+    ----------
+    t0, t_inf:
+        Optimal delay and per-copy timeout (s).
+    e_j, sigma_j:
+        Moments of the total latency at the optimum (s).
+    n_parallel:
+        Paper-style ``N_//`` (piecewise §6.1 formula at ``l = E_J``).
+    cost:
+        ``Δcost`` when a single-resubmission reference was supplied,
+        else ``nan``.
+    """
+
+    t0: float
+    t_inf: float
+    e_j: float
+    sigma_j: float
+    n_parallel: float
+    cost: float = float("nan")
+
+
+def _search_indices(
+    model: GriddedLatencyModel,
+    t_min: float | None,
+    t_max: float | None,
+) -> np.ndarray:
+    grid = model.grid
+    lo = 1 if t_min is None else max(1, grid.index_of(t_min))
+    hi = grid.n - 1 if t_max is None else grid.index_of(t_max)
+    if hi < lo:
+        raise ValueError(f"empty search window [{t_min}, {t_max}]")
+    return np.arange(lo, hi + 1)
+
+
+def optimize_single(
+    model: GriddedLatencyModel,
+    *,
+    t_min: float | None = None,
+    t_max: float | None = None,
+) -> SingleOptimum:
+    """Minimise Eq. (1) over the timeout (paper §4).
+
+    Parameters
+    ----------
+    model:
+        Gridded latency model.
+    t_min, t_max:
+        Optional search window for ``t∞`` (defaults: whole grid).
+    """
+    idx = _search_indices(model, t_min, t_max)
+    e = single_expectation_sweep(model)[idx]
+    if not np.isfinite(e).any():
+        raise ValueError("E_J is infinite over the whole search window")
+    best = idx[int(np.argmin(e))]
+    t_inf = model.grid.time_of(best)
+    mom = single_moments(model, t_inf)
+    return SingleOptimum(t_inf=t_inf, e_j=mom.expectation, sigma_j=mom.std)
+
+
+def optimize_multiple(
+    model: GriddedLatencyModel,
+    b: int,
+    *,
+    t_min: float | None = None,
+    t_max: float | None = None,
+) -> SingleOptimum:
+    """Minimise Eq. (3) over the timeout for burst size ``b`` (paper §5)."""
+    idx = _search_indices(model, t_min, t_max)
+    e = multiple_expectation_sweep(model, b)[idx]
+    if not np.isfinite(e).any():
+        raise ValueError("E_J is infinite over the whole search window")
+    best = idx[int(np.argmin(e))]
+    t_inf = model.grid.time_of(best)
+    mom = multiple_moments(model, b, t_inf)
+    return SingleOptimum(t_inf=t_inf, e_j=mom.expectation, sigma_j=mom.std)
+
+
+def _delayed_t0_candidates(
+    model: GriddedLatencyModel,
+    t0_min: float | None,
+    t0_max: float | None,
+    coarse: int,
+) -> tuple[np.ndarray, int]:
+    grid = model.grid
+    lo = 2 if t0_min is None else max(2, grid.index_of(t0_min))
+    default_hi = grid.n - 1
+    hi = default_hi if t0_max is None else min(default_hi, grid.index_of(t0_max))
+    if hi < lo:
+        raise ValueError(f"empty t0 window [{t0_min}, {t0_max}]")
+    stride = max(1, coarse)
+    return np.arange(lo, hi + 1, stride), stride
+
+
+def _best_over_t0(
+    model: GriddedLatencyModel,
+    k0_values: np.ndarray,
+    objective,
+) -> tuple[int, int, float]:
+    """Scan ``t0`` candidates, return (k0, k_inf, value) minimising objective.
+
+    ``objective(k0) -> (values, ks)`` maps a ``t0`` index to objective
+    values over its feasible ``t∞`` indices.
+    """
+    best = (None, None, np.inf)
+    for k0 in k0_values:
+        values, ks = objective(int(k0))
+        if values.size == 0:
+            continue
+        j = int(np.nanargmin(values))
+        if values[j] < best[2]:
+            best = (int(k0), int(ks[j]), float(values[j]))
+    if best[0] is None:
+        raise ValueError("no feasible (t0, t_inf) in the search window")
+    return best
+
+
+def optimize_delayed(
+    model: GriddedLatencyModel,
+    *,
+    t0_min: float | None = None,
+    t0_max: float | None = None,
+    coarse: int = 8,
+    e_j_single: float | None = None,
+) -> DelayedOptimum:
+    """Globally minimise the delayed-strategy ``E_J`` over ``(t0, t∞)``.
+
+    Two-stage search: a coarse sweep over ``t0`` (stride ``coarse`` grid
+    steps, full vectorised ``t∞`` sweep for each), then a unit-stride
+    refinement around the best coarse ``t0``.
+
+    Parameters
+    ----------
+    model:
+        Gridded latency model.
+    t0_min, t0_max:
+        Search window for ``t0`` (defaults: whole grid).
+    coarse:
+        Coarse-stage stride in grid steps (1 disables the second stage).
+    e_j_single:
+        Optional single-resubmission reference to also report ``Δcost``.
+    """
+
+    def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
+        e = delayed_expectation_for_t0(model, k0)
+        hi = min(2 * k0, model.grid.n - 1)
+        ks = np.arange(k0, hi + 1)
+        return e[ks], ks
+
+    candidates, stride = _delayed_t0_candidates(model, t0_min, t0_max, coarse)
+    k0, k_inf, _ = _best_over_t0(model, candidates, objective)
+    if stride > 1:
+        lo = max(2, k0 - stride)
+        hi = min(model.grid.n - 1, k0 + stride)
+        k0, k_inf, _ = _best_over_t0(
+            model, np.arange(lo, hi + 1), objective
+        )
+    t0 = model.grid.time_of(k0)
+    t_inf = model.grid.time_of(k_inf)
+    mom = delayed_moments(model, t0, t_inf)
+    n_par = float(n_parallel_for_latency(mom.expectation, t0, t_inf))
+    cost = (
+        delta_cost(n_par, mom.expectation, e_j_single)
+        if e_j_single is not None
+        else float("nan")
+    )
+    return DelayedOptimum(
+        t0=t0,
+        t_inf=t_inf,
+        e_j=mom.expectation,
+        sigma_j=mom.std,
+        n_parallel=n_par,
+        cost=cost,
+    )
+
+
+def optimize_delayed_ratio(
+    model: GriddedLatencyModel,
+    ratio: float,
+    *,
+    t0_min: float | None = None,
+    t0_max: float | None = None,
+    e_j_single: float | None = None,
+) -> DelayedOptimum:
+    """Minimise delayed ``E_J`` with the ratio ``t∞/t0`` imposed (§6.2).
+
+    ``t∞`` is tied to ``ratio·t0`` (rounded to the grid), so the sweep is
+    one-dimensional over ``t0``.
+
+    Parameters
+    ----------
+    ratio:
+        Imposed ``t∞/t0`` in ``[1, 2]`` (Table 3 uses 1.1 … 2.0).
+    """
+    if not 1.0 <= ratio <= 2.0:
+        raise ValueError(f"ratio must be in [1, 2], got {ratio!r}")
+
+    def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
+        k_inf = min(int(round(k0 * ratio)), model.grid.n - 1, 2 * k0)
+        k_inf = max(k_inf, k0)
+        e = delayed_expectation_for_t0(model, k0)
+        return e[[k_inf]], np.array([k_inf])
+
+    candidates, stride = _delayed_t0_candidates(model, t0_min, t0_max, 4)
+    k0, k_inf, _ = _best_over_t0(model, candidates, objective)
+    if stride > 1:
+        lo = max(2, k0 - stride)
+        hi = min(model.grid.n - 1, k0 + stride)
+        k0, k_inf, _ = _best_over_t0(model, np.arange(lo, hi + 1), objective)
+    t0 = model.grid.time_of(k0)
+    t_inf = model.grid.time_of(k_inf)
+    mom = delayed_moments(model, t0, t_inf)
+    n_par = float(n_parallel_for_latency(mom.expectation, t0, t_inf))
+    cost = (
+        delta_cost(n_par, mom.expectation, e_j_single)
+        if e_j_single is not None
+        else float("nan")
+    )
+    return DelayedOptimum(
+        t0=t0,
+        t_inf=t_inf,
+        e_j=mom.expectation,
+        sigma_j=mom.std,
+        n_parallel=n_par,
+        cost=cost,
+    )
+
+
+def optimize_delayed_cost(
+    model: GriddedLatencyModel,
+    e_j_single: float,
+    *,
+    t0_min: float | None = None,
+    t0_max: float | None = None,
+    coarse: int = 8,
+) -> DelayedOptimum:
+    """Minimise ``Δcost`` (not ``E_J``) over ``(t0, t∞)`` — §7.1 / Table 5.
+
+    The paper finds e.g. ``Δcost = 0.93`` at ``t0 = 439 s, t∞ = 579 s`` on
+    2006-IX, i.e. a configuration that both beats the single-resubmission
+    latency and lowers the total grid load.
+
+    Parameters
+    ----------
+    e_j_single:
+        ``E_J`` of the optimal single resubmission on the same model (the
+        Eq. 6 denominator).
+    """
+    if e_j_single <= 0:
+        raise ValueError(f"e_j_single must be > 0, got {e_j_single!r}")
+
+    def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
+        e = delayed_expectation_for_t0(model, k0)
+        hi = min(2 * k0, model.grid.n - 1)
+        ks = np.arange(k0, hi + 1)
+        e_win = e[ks]
+        t0 = model.grid.time_of(k0)
+        finite = np.isfinite(e_win)
+        costs = np.full(e_win.shape, np.inf)
+        if finite.any():
+            n_par = n_parallel_for_latency(
+                np.where(finite, e_win, 0.0), t0, model.times[ks]
+            )
+            costs = np.where(finite, n_par * e_win / e_j_single, np.inf)
+        return costs, ks
+
+    candidates, stride = _delayed_t0_candidates(model, t0_min, t0_max, coarse)
+    k0, k_inf, best_cost = _best_over_t0(model, candidates, objective)
+    if stride > 1:
+        lo = max(2, k0 - stride)
+        hi = min(model.grid.n - 1, k0 + stride)
+        k0, k_inf, best_cost = _best_over_t0(model, np.arange(lo, hi + 1), objective)
+    t0 = model.grid.time_of(k0)
+    t_inf = model.grid.time_of(k_inf)
+    mom = delayed_moments(model, t0, t_inf)
+    n_par = float(n_parallel_for_latency(mom.expectation, t0, t_inf))
+    return DelayedOptimum(
+        t0=t0,
+        t_inf=t_inf,
+        e_j=mom.expectation,
+        sigma_j=mom.std,
+        n_parallel=n_par,
+        cost=float(best_cost),
+    )

@@ -1,0 +1,124 @@
+"""Finite mixtures of latency distributions.
+
+Production-grid latency is multi-modal: jobs landing on idle sites see the
+middleware floor, jobs queued behind production workloads see long batch
+waits, and a minority hit degraded services.  A small mixture (body +
+slow-tail component) captures this; the paper's heavy-tailed empirical cdf
+(Fig. 1) exhibits exactly this plateau structure.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.distributions.base import LatencyDistribution
+from repro.util.rng import RngLike, as_rng
+
+__all__ = ["MixtureDistribution"]
+
+
+class MixtureDistribution(LatencyDistribution):
+    """Weighted mixture ``R ~ Σ w_i · component_i``."""
+
+    family = "mixture"
+
+    def __init__(
+        self,
+        components: Sequence[LatencyDistribution],
+        weights: Sequence[float],
+    ) -> None:
+        if len(components) == 0:
+            raise ValueError("mixture needs at least one component")
+        if len(components) != len(weights):
+            raise ValueError(
+                f"{len(components)} components but {len(weights)} weights"
+            )
+        for c in components:
+            if not isinstance(c, LatencyDistribution):
+                raise TypeError(
+                    f"components must be LatencyDistribution, got {type(c).__name__}"
+                )
+        w = np.asarray(weights, dtype=np.float64)
+        if (w < 0).any():
+            raise ValueError(f"weights must be non-negative, got {weights!r}")
+        total = w.sum()
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        self.components = list(components)
+        self.weights = w / total
+
+    def pdf(self, t):
+        t = np.asarray(t, dtype=np.float64)
+        out = sum(
+            w * np.asarray(c.pdf(t)) for w, c in zip(self.weights, self.components)
+        )
+        out = np.asarray(out)
+        return out if out.ndim else float(out)
+
+    def cdf(self, t):
+        t = np.asarray(t, dtype=np.float64)
+        out = sum(
+            w * np.asarray(c.cdf(t)) for w, c in zip(self.weights, self.components)
+        )
+        out = np.asarray(out)
+        return out if out.ndim else float(out)
+
+    def ppf(self, q):
+        """Quantiles by monotone bisection on the mixture cdf."""
+        q = np.atleast_1d(np.asarray(q, dtype=np.float64))
+        # bracket: use the extreme component quantiles
+        los = np.zeros_like(q)
+        hi0 = max(float(np.max(np.atleast_1d(c.ppf(0.999999)))) for c in self.components)
+        his = np.full_like(q, max(hi0, 1.0))
+        # expand the upper bracket until cdf(hi) >= q everywhere
+        for _ in range(200):
+            need = np.asarray(self.cdf(his)) < q
+            if not need.any():
+                break
+            his[need] *= 2.0
+        for _ in range(80):  # bisection to ~1e-24 relative
+            mid = 0.5 * (los + his)
+            below = np.asarray(self.cdf(mid)) < q
+            los = np.where(below, mid, los)
+            his = np.where(below, his, mid)
+        out = 0.5 * (los + his)
+        return out if out.size > 1 else float(out[0])
+
+    def rvs(self, size: int, rng: RngLike = None) -> np.ndarray:
+        gen = as_rng(rng)
+        choice = gen.choice(len(self.components), size=size, p=self.weights)
+        out = np.empty(size, dtype=np.float64)
+        for i, comp in enumerate(self.components):
+            mask = choice == i
+            k = int(mask.sum())
+            if k:
+                out[mask] = comp.rvs(k, gen)
+        return out
+
+    def mean(self) -> float:
+        means = [c.mean() for c in self.components]
+        if any(not np.isfinite(m) for m in means):
+            return float("inf")
+        return float(np.dot(self.weights, means))
+
+    def _moment(self, k: int) -> float:
+        moments = [c._moment(k) for c in self.components]
+        if any(not np.isfinite(m) for m in moments):
+            return float("inf")
+        return float(np.dot(self.weights, moments))
+
+    def params(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for i, (w, c) in enumerate(zip(self.weights, self.components)):
+            out[f"w{i}"] = float(w)
+            for key, val in c.params().items():
+                out[f"c{i}_{key}"] = val
+        return out
+
+    def describe(self) -> str:
+        parts = [
+            f"{w:.3g}*{c.describe()}" for w, c in zip(self.weights, self.components)
+        ]
+        return " + ".join(parts)

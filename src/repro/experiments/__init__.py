@@ -1,0 +1,22 @@
+"""Reproduction experiments — one module per paper table/figure.
+
+Every module exposes ``run(ctx: ReproContext | None = None) -> ExperimentResult``;
+the :mod:`registry <repro.experiments.registry>` maps experiment ids
+(``"table1"``, ``"fig2"``, …) to these functions.  Results carry the
+regenerated tables (:class:`~repro.util.tables.Table`) and figure data
+(:class:`~repro.util.series.SeriesBundle`) plus the paper's reference
+values for side-by-side comparison (recorded in ``EXPERIMENTS.md``).
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ReproContext, get_context
+from repro.experiments.registry import EXPERIMENTS, list_experiments, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "ReproContext",
+    "get_context",
+    "EXPERIMENTS",
+    "list_experiments",
+    "run_experiment",
+]

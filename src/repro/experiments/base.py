@@ -1,0 +1,51 @@
+"""Common experiment result container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.series import SeriesBundle
+from repro.util.tables import Table
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a reproduced table/figure produces.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry id, e.g. ``"table2"``.
+    title:
+        Human-readable description referencing the paper artifact.
+    tables:
+        Regenerated tables (paper-style rows, possibly with reference
+        columns).
+    figures:
+        Regenerated figure data as labelled series bundles.
+    notes:
+        Free-form observations (paper-vs-measured commentary).
+    """
+
+    experiment_id: str
+    title: str
+    tables: list[Table] = field(default_factory=list)
+    figures: list[SeriesBundle] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Monospace report: all tables, figure summaries and notes."""
+        parts = [f"=== {self.experiment_id}: {self.title} ==="]
+        for table in self.tables:
+            parts.append(table.render())
+        for fig in self.figures:
+            parts.append(fig.render())
+        if self.notes:
+            parts.append("notes:")
+            parts.extend(f"  - {note}" for note in self.notes)
+        return "\n\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

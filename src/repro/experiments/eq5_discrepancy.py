@@ -1,0 +1,79 @@
+"""Ablation — how wrong is the printed Eq. (5)?
+
+DESIGN.md documents a union-bound slip in the paper's derivation of the
+delayed-strategy ``F_J``.  This experiment quantifies the resulting
+``E_J`` error over a grid of ``(t0, ratio)`` configurations: small (a few
+percent) but systematic — enough to matter for the third decimal of
+``Δcost``, not for any qualitative conclusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.paper_equations import eq5_union_expectation
+from repro.core.strategies import delayed_moments
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ReproContext, get_context
+from repro.util.tables import Table, format_percent, format_seconds
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "abl-eq5"
+TITLE = "Ablation: printed Eq.(5) union-form vs exact survival-form E_J"
+
+
+def run(
+    ctx: ReproContext | None = None,
+    *,
+    week: str = "2006-IX",
+    t0_values: tuple[float, ...] = (250.0, 350.0, 450.0, 600.0),
+    ratios: tuple[float, ...] = (1.0, 1.2, 1.5, 1.8, 2.0),
+) -> ExperimentResult:
+    """Tabulate the relative E_J error of the union form."""
+    ctx = ctx or get_context()
+    model = ctx.model(week)
+    table = Table(
+        title=TITLE,
+        columns=["t0", "t_inf", "ratio", "exact E_J", "union E_J", "rel err"],
+    )
+    errors = []
+    for t0 in t0_values:
+        for ratio in ratios:
+            t_inf = model.grid.time_of(
+                min(
+                    model.grid.index_of(t0 * ratio),
+                    2 * model.grid.index_of(t0),
+                    model.grid.n - 1,
+                )
+            )
+            exact = delayed_moments(model, t0, t_inf).expectation
+            union = eq5_union_expectation(model, t0, t_inf)
+            rel = union / exact - 1.0
+            errors.append(abs(rel))
+            table.add_row(
+                format_seconds(t0),
+                format_seconds(t_inf),
+                f"{ratio:.1f}",
+                format_seconds(exact),
+                format_seconds(union),
+                format_percent(rel, 2),
+            )
+    notes = [
+        f"max |relative error| = {max(errors):.2%}, mean = "
+        f"{np.mean(errors):.2%}",
+        "the error vanishes at ratio 1 (no overlap window) and grows "
+        "steeply with the overlap — consistent with the spurious "
+        "F~(t0)·F~(u) term identified in DESIGN.md",
+        "consequence: the exact E_J is provably non-increasing in t_inf "
+        "at fixed t0 (raising t_inf only gives every copy more time), "
+        "but the union form inflates E_J at large ratios — the paper's "
+        "Table-3 observation that E_J *rises* beyond ratio 1.4 is "
+        "therefore likely an artifact of the printed derivation, not a "
+        "property of the strategy",
+        "the strategy's qualitative story (delayed beats single at "
+        "N_// < 2; cost dips below 1 near t0 ≈ E_J) is unaffected",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, tables=[table], notes=notes
+    )

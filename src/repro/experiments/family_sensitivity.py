@@ -1,0 +1,91 @@
+"""Ablation — does the choice of latency family change the conclusions?
+
+The paper works directly from the empirical cdf.  A practitioner fitting
+a parametric family instead (the GWA workflow) should know how sensitive
+the optimised timeouts are to that choice.  We fit every supported
+family to the same trace latencies, run the strategy optimisation under
+each fitted model, and compare against the ECDF-based reference.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import LatencyModel
+from repro.core.optimize import optimize_multiple, optimize_single
+from repro.distributions.fitting import SUPPORTED_FAMILIES, fit_distribution
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ReproContext, get_context
+from repro.util.tables import Table, format_float, format_seconds
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "abl-family"
+TITLE = "Ablation: strategy optima under different fitted latency families"
+
+
+def run(
+    ctx: ReproContext | None = None,
+    *,
+    week: str = "2006-IX",
+) -> ExperimentResult:
+    """Optimise under each fitted family and compare with the ECDF."""
+    ctx = ctx or get_context()
+    trace = ctx.traces[week]
+    reference = ctx.single_optimum(week)
+    latencies = trace.successful_latencies
+    rho = trace.outlier_ratio
+
+    table = Table(
+        title=TITLE,
+        columns=[
+            "model",
+            "KS stat",
+            "single t_inf",
+            "single E_J",
+            "E_J vs ECDF",
+            "burst3 E_J",
+        ],
+    )
+    table.add_row(
+        "empirical (ref)",
+        "",
+        format_seconds(reference.t_inf),
+        format_seconds(reference.e_j),
+        "",
+        format_seconds(optimize_multiple(ctx.model(week), 3).e_j),
+    )
+    gaps: dict[str, float] = {}
+    for family in SUPPORTED_FAMILIES:
+        fit = fit_distribution(latencies, family)
+        model = LatencyModel(fit.distribution, rho=rho, name=family).on_grid(
+            ctx.grid
+        )
+        single = optimize_single(model)
+        burst = optimize_multiple(model, 3)
+        gaps[family] = abs(single.e_j - reference.e_j) / reference.e_j
+        table.add_row(
+            family,
+            format_float(fit.ks_statistic, 3),
+            format_seconds(single.t_inf),
+            format_seconds(single.e_j),
+            format_float(gaps[family], 3),
+            format_seconds(burst.e_j),
+        )
+
+    best = min(gaps, key=gaps.get)
+    worst = max(gaps, key=gaps.get)
+    notes = [
+        f"closest family to the ECDF answer: {best} "
+        f"({gaps[best]:.1%} E_J gap); worst: {worst} ({gaps[worst]:.1%})",
+        "families with the right tail behaviour (lognormal/loglogistic) "
+        "track the ECDF within a few percent; exponential (memoryless) "
+        "misjudges the value of resubmission the most — tail shape, not "
+        "goodness-of-fit statistics alone, drives strategy quality",
+        "zero-location fits that put mass at t ≈ 0 (weibull shape < 1, "
+        "exponential, pareto) produce pathological near-zero optimal "
+        "timeouts: the model believes instant restarts are free. Real "
+        "latencies have a middleware floor — fit shifted families or use "
+        "the ECDF when deploying timeout policies",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, tables=[table], notes=notes
+    )

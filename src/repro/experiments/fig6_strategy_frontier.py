@@ -1,0 +1,71 @@
+"""Figure 6 — minimal ``E_J`` vs mean parallel jobs: delayed vs multiple.
+
+The paper's Fig. 6 (2006-IX) compares the two strategies in the
+(N_//, E_J) plane: the delayed curve occupies N_// ∈ [1, ~1.5) with
+E_J between single and 2-burst; the multiple curve starts at (1, E_J(b=1))
+and drops faster at integer N_//.  The frontier shows where each strategy
+dominates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.optimize import optimize_delayed_ratio, optimize_multiple
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import T0_WINDOW, ReproContext, get_context
+from repro.experiments.table3_delayed_ratio import RATIOS
+from repro.util.series import Series, SeriesBundle
+
+__all__ = ["run"]
+
+EXPERIMENT_ID = "fig6"
+TITLE = "Figure 6: minimal E_J vs mean number of parallel jobs"
+
+
+def run(
+    ctx: ReproContext | None = None,
+    *,
+    week: str = "2006-IX",
+    b_max: int = 5,
+) -> ExperimentResult:
+    """Regenerate Fig. 6's two curves."""
+    ctx = ctx or get_context()
+    model = ctx.model(week)
+    single = ctx.single_optimum(week)
+
+    delayed_pts = []
+    for ratio in RATIOS:
+        opt = optimize_delayed_ratio(
+            model, ratio, t0_min=T0_WINDOW[0], t0_max=T0_WINDOW[1]
+        )
+        delayed_pts.append((opt.n_parallel, opt.e_j))
+    delayed_pts.sort()
+    dx, dy = np.array(delayed_pts).T
+
+    bs = np.arange(1, b_max + 1)
+    multi = [optimize_multiple(model, int(b)) for b in bs]
+    mx = bs.astype(np.float64)
+    my = np.array([o.e_j for o in multi])
+
+    bundle = SeriesBundle(
+        title=f"{TITLE} [{week}]",
+        x_label="nb. of jobs in parallel (N_//)",
+        y_label="minimal E_J (s)",
+    )
+    bundle.add(Series("delayed submission strategy", dx, dy))
+    bundle.add(Series("multiple submissions strategy", mx, my))
+
+    notes = [
+        f"delayed strategy spans N_// in [{dx.min():.2f}, {dx.max():.2f}] "
+        f"with E_J down to {dy.min():.0f}s — below single resubmission "
+        f"({single.e_j:.0f}s) at a fraction of a parallel job "
+        "(paper: minimum 431s at N_// = 1.2)",
+        f"multiple submission at b=2 reaches {my[1]:.0f}s — lower than any "
+        "delayed configuration, but at a full extra copy "
+        "(paper: 'we obtain a lower value with the multiple submission "
+        "strategy with at least two jobs in parallel')",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, figures=[bundle], notes=notes
+    )

@@ -1,0 +1,70 @@
+"""Registry mapping experiment ids to their ``run`` functions."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    adoption_sweep,
+    eq5_discrepancy,
+    family_sensitivity,
+    fig1_cdf,
+    fig2_multi_profiles,
+    fig3_min_ej_vs_b,
+    fig5_delayed_surface,
+    fig6_strategy_frontier,
+    fig8_cost_curves,
+    resolution_study,
+    rho_sensitivity,
+    table1_latency_stats,
+    table2_multiple,
+    table3_delayed_ratio,
+    table4_cost,
+    table5_weekly_cost,
+    table6_transfer,
+    validation_des,
+    validation_mc,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment"]
+
+#: experiment id -> run callable (every table/figure + validations)
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig1": fig1_cdf.run,
+    "table1": table1_latency_stats.run,
+    "fig2": fig2_multi_profiles.run,
+    "table2": table2_multiple.run,
+    "fig3": fig3_min_ej_vs_b.run,
+    "fig5": fig5_delayed_surface.run,
+    "table3": table3_delayed_ratio.run,
+    "fig6": fig6_strategy_frontier.run,
+    "fig8": fig8_cost_curves.run,
+    "table4": table4_cost.run,
+    "table5": table5_weekly_cost.run,
+    "table6": table6_transfer.run,
+    "val-mc": validation_mc.run,
+    "val-des": validation_des.run,
+    "abl-eq5": eq5_discrepancy.run,
+    "abl-adopt": adoption_sweep.run,
+    "abl-rho": rho_sensitivity.run,
+    "abl-family": family_sensitivity.run,
+    "abl-grid": resolution_study.run,
+}
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids (paper order, then validations)."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id; kwargs are forwarded to its ``run``."""
+    try:
+        fn = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {experiment_id!r}; available: "
+            f"{', '.join(EXPERIMENTS)}"
+        ) from None
+    return fn(**kwargs)

@@ -1,0 +1,105 @@
+"""Table 2 — optimal timeout and best ``E_J`` per burst size b = 1…20.
+
+Regenerates the full Table 2 structure: optimal ``t∞``, best ``E_J``,
+``σ_J``, the improvement over b=1 (with its job-count overhead) and the
+marginal improvement over b-1 — the paper's diminishing-returns argument
+for small b.
+"""
+
+from __future__ import annotations
+
+from repro.core.optimize import optimize_multiple
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import ReproContext, get_context
+from repro.util.tables import Table, format_percent, format_seconds
+
+__all__ = ["run", "PAPER_TABLE2"]
+
+EXPERIMENT_ID = "table2"
+TITLE = "Table 2: multiple submission, b = 1..20 (2006-IX)"
+
+#: paper values for selected rows: b -> (optimal t_inf, best E_J, sigma_J)
+PAPER_TABLE2: dict[int, tuple[float, float, float]] = {
+    1: (596.0, 471.0, 331.0),
+    2: (880.0, 314.0, 148.0),
+    3: (881.0, 268.0, 92.0),
+    4: (881.0, 245.0, 73.0),
+    5: (887.0, 230.0, 63.0),
+    6: (1071.0, 220.0, 57.0),
+    7: (1071.0, 212.0, 51.0),
+    8: (1071.0, 205.0, 47.0),
+    9: (1071.0, 200.0, 43.0),
+    10: (1247.0, 196.0, 40.0),
+    11: (1247.0, 192.0, 38.0),
+    12: (1247.0, 189.0, 35.0),
+    13: (2643.0, 186.0, 33.0),
+    14: (1740.0, 184.0, 32.0),
+    15: (1199.0, 182.0, 30.0),
+    16: (980.0, 180.0, 29.0),
+    17: (853.0, 178.0, 27.0),
+    18: (792.0, 177.0, 26.0),
+    19: (730.0, 175.0, 25.0),
+    20: (688.0, 174.0, 24.0),
+}
+
+
+def run(
+    ctx: ReproContext | None = None,
+    *,
+    week: str = "2006-IX",
+    b_max: int = 20,
+) -> ExperimentResult:
+    """Regenerate Table 2 for burst sizes 1..``b_max``."""
+    if b_max < 1:
+        raise ValueError(f"b_max must be >= 1, got {b_max}")
+    ctx = ctx or get_context()
+    model = ctx.model(week)
+    table = Table(
+        title=TITLE,
+        columns=[
+            "b",
+            "opt t_inf",
+            "best E_J",
+            "sigma_J",
+            "dE_J/(b=1)",
+            "db/(b=1)",
+            "dE_J/(b-1)",
+            "db/(b-1)",
+            "paper E_J",
+        ],
+    )
+    prev_e = None
+    base_e = None
+    for b in range(1, b_max + 1):
+        opt = optimize_multiple(model, b)
+        if base_e is None:
+            base_e = opt.e_j
+        d_base = opt.e_j / base_e - 1.0 if b > 1 else None
+        d_prev = opt.e_j / prev_e - 1.0 if prev_e is not None else None
+        ref = PAPER_TABLE2.get(b)
+        table.add_row(
+            b,
+            format_seconds(opt.t_inf),
+            format_seconds(opt.e_j),
+            format_seconds(opt.sigma_j),
+            format_percent(d_base, 0) if d_base is not None else "",
+            f"{b * 100}%" if b > 1 else "",
+            format_percent(d_prev, 1) if d_prev is not None else "",
+            f"{100 / (b - 1):.1f}%" if b > 1 else "",
+            format_seconds(ref[1]) if ref else "",
+        )
+        prev_e = opt.e_j
+
+    e2 = optimize_multiple(model, 2).e_j
+    e5 = optimize_multiple(model, 5).e_j
+    notes = [
+        f"b=2 already cuts E_J by {1 - e2 / base_e:.0%} (paper: 33%); "
+        f"b=5 by {1 - e5 / base_e:.0%} (paper: 51%) — "
+        "significant speed-up at low b with diminishing returns, the "
+        "paper's central Table-2 observation.",
+        "the large-b asymptote approaches the latency floor "
+        "(paper reaches 174s at b=20 on a ~150s floor).",
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID, title=TITLE, tables=[table], notes=notes
+    )

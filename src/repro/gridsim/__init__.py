@@ -1,0 +1,48 @@
+"""Discrete-event simulation of an EGEE-like production grid.
+
+The paper measures latency by submitting probe jobs through the real EGEE
+stack (User Interface → Workload Management Server → Computing Element →
+batch queue → worker node, §3.1).  This package provides a mechanistic
+substitute: an event-driven simulator with
+
+* heterogeneous sites (core counts, service policies) fronted by
+  FIFO batch queues (:mod:`repro.gridsim.site`);
+* a WMS performing match-making with stochastic delay and ranking sites
+  on *stale* load information (:mod:`repro.gridsim.wms`) — the partial
+  information problem of §1;
+* per-stage fault injection (lost submissions, stuck jobs) producing the
+  outlier ratio ρ (:mod:`repro.gridsim.faults`);
+* background production workload with diurnal modulation keeping sites
+  near saturation (:mod:`repro.gridsim.background`);
+* the paper's constant-probe measurement protocol
+  (:mod:`repro.gridsim.probes`), emitting :class:`~repro.traces.TraceSet`;
+* client-side strategy executors replaying the three §4–§6 strategies
+  against the simulated grid (:mod:`repro.gridsim.client`), including the
+  fleet-adoption experiment the paper leaves as future work.
+"""
+
+from repro.gridsim.events import Simulator
+from repro.gridsim.faults import FaultModel
+from repro.gridsim.grid import GridConfig, GridSimulator, SiteConfig, default_grid_config
+from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.metrics import GridMonitor, GridSample
+from repro.gridsim.outages import OutageProcess
+from repro.gridsim.probes import ProbeExperiment
+from repro.gridsim.client import StrategyOutcome, run_strategy_on_grid
+
+__all__ = [
+    "Simulator",
+    "FaultModel",
+    "GridConfig",
+    "SiteConfig",
+    "GridSimulator",
+    "default_grid_config",
+    "Job",
+    "JobState",
+    "GridMonitor",
+    "GridSample",
+    "OutageProcess",
+    "ProbeExperiment",
+    "StrategyOutcome",
+    "run_strategy_on_grid",
+]

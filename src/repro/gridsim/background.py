@@ -1,0 +1,79 @@
+"""Background production workload keeping sites realistically loaded.
+
+Probe latency on EGEE is dominated by queueing behind the production
+workload of thousands of users (§3.1).  Each site gets an independent
+Poisson job stream with log-normal runtimes, with optional diurnal rate
+modulation (by thinning), tuned so that the site hovers near a target
+utilisation — the regime where waiting times are heavy-tailed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gridsim.events import Simulator
+from repro.gridsim.jobs import Job
+from repro.gridsim.site import ComputingElement
+from repro.traces.generator import DiurnalProfile
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = ["BackgroundLoad"]
+
+
+class BackgroundLoad:
+    """Poisson production-job stream feeding one computing element."""
+
+    def __init__(
+        self,
+        site: ComputingElement,
+        sim: Simulator,
+        rng: np.random.Generator,
+        *,
+        utilization: float = 0.9,
+        runtime_median: float = 3600.0,
+        runtime_sigma: float = 0.8,
+        diurnal: DiurnalProfile | None = None,
+    ) -> None:
+        check_in_range("utilization", utilization, 0.0, 1.5, inclusive=(False, True))
+        check_positive("runtime_median", runtime_median)
+        check_positive("runtime_sigma", runtime_sigma)
+        self.site = site
+        self.sim = sim
+        self.rng = rng
+        self.utilization = utilization
+        self.runtime_median = runtime_median
+        self.runtime_sigma = runtime_sigma
+        self.diurnal = diurnal
+        self.jobs_generated = 0
+        # mean of lognormal = median * exp(sigma^2/2)
+        mean_runtime = runtime_median * float(np.exp(runtime_sigma**2 / 2.0))
+        #: base arrival rate achieving the target utilisation (jobs/s)
+        self.rate = utilization * site.n_cores / mean_runtime
+        #: peak rate used for Poisson thinning under diurnal modulation
+        self._peak_rate = self.rate * (
+            1.0 + (diurnal.amplitude if diurnal is not None else 0.0)
+        )
+
+    def start(self) -> None:
+        """Begin generating arrivals (call once)."""
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        gap = float(self.rng.exponential(1.0 / self._peak_rate))
+        self.sim.schedule(gap, self._arrival)
+
+    def _arrival(self) -> None:
+        # thinning: accept with probability rate(t)/peak_rate
+        accept = True
+        if self.diurnal is not None:
+            rate_now = self.rate * float(self.diurnal.factor(self.sim.now))
+            accept = self.rng.random() < rate_now / self._peak_rate
+        if accept:
+            runtime = float(
+                self.rng.lognormal(np.log(self.runtime_median), self.runtime_sigma)
+            )
+            job = Job(runtime=runtime, tag="background")
+            job.submit_time = self.sim.now
+            self.site.enqueue(job)
+            self.jobs_generated += 1
+        self._schedule_next()

@@ -1,0 +1,225 @@
+"""Client-side strategy executors running against the simulated grid.
+
+These replay the paper's three strategies *mechanistically* — actual
+submissions, timers and cancellations on the DES — rather than sampling
+from a latency law.  They serve two purposes:
+
+* end-to-end validation: latencies measured under the single-submission
+  protocol feed the analytic model, whose predicted strategy gains are
+  then compared against strategies *executed* on the same grid;
+* the paper's future-work experiment: what happens when a whole fleet of
+  users adopts an aggressive strategy (load feedback included), see
+  :mod:`repro.experiments.adoption_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.strategies import (
+    DelayedResubmission,
+    MultipleSubmission,
+    SingleResubmission,
+    Strategy,
+)
+from repro.gridsim.grid import GridSimulator
+from repro.gridsim.jobs import Job
+from repro.util.validation import check_positive
+
+__all__ = ["StrategyOutcome", "run_strategy_on_grid"]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """Result of executing a strategy for many tasks on the grid.
+
+    Attributes
+    ----------
+    j:
+        Realised total latencies of the tasks that succeeded (s).
+    jobs_submitted:
+        Grid jobs submitted per successful task (copies + resubmissions).
+    gave_up:
+        Tasks still unfinished when the simulation horizon was reached.
+    """
+
+    j: np.ndarray
+    jobs_submitted: np.ndarray
+    gave_up: int
+
+    @property
+    def mean_j(self) -> float:
+        """Mean realised total latency."""
+        return float(self.j.mean())
+
+    @property
+    def mean_jobs(self) -> float:
+        """Mean number of grid jobs per task."""
+        return float(self.jobs_submitted.mean())
+
+
+class _TaskBase:
+    """Common bookkeeping for one task executed under a strategy."""
+
+    def __init__(self, grid: GridSimulator, runtime: float, results: list) -> None:
+        self.grid = grid
+        self.runtime = runtime
+        self.results = results
+        self.t_start = grid.now
+        self.jobs_used = 0
+        self.done = False
+        self.active_jobs: list[Job] = []
+        self.timers: list = []
+
+    def _submit_copy(self, on_start) -> Job:
+        job = Job(runtime=self.runtime, tag="task")
+        self.jobs_used += 1
+        self.active_jobs.append(job)
+        self.grid.submit(job, on_start=on_start)
+        return job
+
+    def _finish(self, winner: Job) -> None:
+        if self.done:
+            # a sibling copy started in the same instant: kill the extra
+            self.grid.cancel(winner)
+            return
+        self.done = True
+        for ev in self.timers:
+            ev.cancel()
+        for job in self.active_jobs:
+            if job is not winner:
+                self.grid.cancel(job)
+        self.results.append(
+            (self.grid.now - self.t_start, self.jobs_used)
+        )
+
+
+class _SingleTask(_TaskBase):
+    def __init__(self, grid, runtime, results, t_inf: float) -> None:
+        super().__init__(grid, runtime, results)
+        self.t_inf = t_inf
+        self._round()
+
+    def _round(self) -> None:
+        if self.done:
+            return
+        job = self._submit_copy(self._finish)
+        timer = self.grid.sim.schedule(self.t_inf, lambda: self._timeout(job))
+        self.timers.append(timer)
+
+    def _timeout(self, job: Job) -> None:
+        if self.done:
+            return
+        self.grid.cancel(job)
+        self._round()
+
+
+class _MultipleTask(_TaskBase):
+    def __init__(self, grid, runtime, results, b: int, t_inf: float) -> None:
+        super().__init__(grid, runtime, results)
+        self.b = b
+        self.t_inf = t_inf
+        self._round()
+
+    def _round(self) -> None:
+        if self.done:
+            return
+        batch = [self._submit_copy(self._finish) for _ in range(self.b)]
+        timer = self.grid.sim.schedule(self.t_inf, lambda: self._timeout(batch))
+        self.timers.append(timer)
+
+    def _timeout(self, batch: list[Job]) -> None:
+        if self.done:
+            return
+        for job in batch:
+            self.grid.cancel(job)
+        self._round()
+
+
+class _DelayedTask(_TaskBase):
+    def __init__(self, grid, runtime, results, t0: float, t_inf: float) -> None:
+        super().__init__(grid, runtime, results)
+        self.t0 = t0
+        self.t_inf = t_inf
+        self._submit_next()
+
+    def _submit_next(self) -> None:
+        if self.done:
+            return
+        job = self._submit_copy(self._finish)
+        self.timers.append(
+            self.grid.sim.schedule(self.t_inf, lambda: self._cancel_copy(job))
+        )
+        self.timers.append(self.grid.sim.schedule(self.t0, self._submit_next))
+
+    def _cancel_copy(self, job: Job) -> None:
+        if self.done:
+            return
+        self.grid.cancel(job)
+
+
+def run_strategy_on_grid(
+    grid: GridSimulator,
+    strategy: Strategy,
+    n_tasks: int,
+    *,
+    task_interval: float = 300.0,
+    runtime: float = 600.0,
+    horizon: float = 500_000.0,
+) -> StrategyOutcome:
+    """Execute ``n_tasks`` independent tasks under ``strategy``.
+
+    Tasks are launched every ``task_interval`` virtual seconds (staggered,
+    as an application workflow would); each runs the strategy until one of
+    its copies starts.  The simulation is advanced until all tasks finish
+    or ``horizon`` virtual seconds elapse.
+
+    Parameters
+    ----------
+    grid:
+        The simulated grid (should be warmed up first).
+    strategy:
+        A :class:`SingleResubmission`, :class:`MultipleSubmission` or
+        :class:`DelayedResubmission` instance.
+    n_tasks:
+        Number of independent tasks to run.
+    task_interval:
+        Gap between task launches (s).
+    runtime:
+        Execution time of the real payload once started (s).
+    horizon:
+        Hard stop for the whole experiment (virtual s).
+    """
+    if n_tasks < 1:
+        raise ValueError(f"n_tasks must be >= 1, got {n_tasks}")
+    check_positive("task_interval", task_interval)
+    check_positive("horizon", horizon)
+    results: list[tuple[float, int]] = []
+
+    def launcher_for(strat: Strategy):
+        if isinstance(strat, SingleResubmission):
+            return lambda: _SingleTask(grid, runtime, results, strat.t_inf)
+        if isinstance(strat, MultipleSubmission):
+            return lambda: _MultipleTask(grid, runtime, results, strat.b, strat.t_inf)
+        if isinstance(strat, DelayedResubmission):
+            return lambda: _DelayedTask(grid, runtime, results, strat.t0, strat.t_inf)
+        raise TypeError(f"unsupported strategy type {type(strat).__name__}")
+
+    launch = launcher_for(strategy)
+    for i in range(n_tasks):
+        grid.sim.schedule_at(grid.now + i * task_interval, launch)
+
+    deadline = grid.now + horizon
+    while grid.now < deadline and len(results) < n_tasks:
+        grid.run_until(min(grid.now + 3600.0, deadline))
+
+    j = np.array([r[0] for r in results])
+    jobs = np.array([r[1] for r in results], dtype=np.int64)
+    if j.size == 0:
+        raise RuntimeError(
+            "no task finished within the horizon — grid saturated or "
+            "timeouts unreachable"
+        )
+    return StrategyOutcome(j=j, jobs_submitted=jobs, gave_up=n_tasks - j.size)

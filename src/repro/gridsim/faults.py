@@ -1,0 +1,69 @@
+"""Per-stage fault injection.
+
+Paper §1 lists the fault sources observed on EGEE: network/connectivity,
+local configuration, middleware version skew, data access, scheduling.
+The simulator abstracts them into two outlier-producing channels at the
+points where they bite:
+
+* **lost submissions** — the job disappears between the UI and any queue
+  (credential/connectivity failures); the client only learns via its own
+  timeout;
+* **stuck jobs** — the job reaches a mis-configured site and waits in a
+  queue it will never leave (wall-clock misconfiguration, dead worker).
+
+Both channels leave the job unstarted, which is exactly how the paper's
+ρ is defined (never started before the probe timeout).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+__all__ = ["FaultModel"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """Bernoulli fault channels applied per job.
+
+    Attributes
+    ----------
+    p_lost:
+        Probability a submission is swallowed before reaching a queue.
+    p_stuck:
+        Probability a dispatched job lands in a queue it never leaves.
+    """
+
+    p_lost: float = 0.0
+    p_stuck: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("p_lost", self.p_lost)
+        check_probability("p_stuck", self.p_stuck)
+        if self.p_lost + self.p_stuck >= 1.0:
+            raise ValueError(
+                f"p_lost + p_stuck must be < 1, got {self.p_lost + self.p_stuck}"
+            )
+
+    @property
+    def rho(self) -> float:
+        """Overall outlier probability injected by the fault channels.
+
+        A job is an outlier if lost, or (not lost but) stuck:
+        ``ρ = p_lost + (1-p_lost)·p_stuck``.  Queueing can add more
+        outliers on top (jobs that simply never reach a core before the
+        measurement timeout).
+        """
+        return self.p_lost + (1.0 - self.p_lost) * self.p_stuck
+
+    def draw_lost(self, rng: np.random.Generator) -> bool:
+        """Sample the lost-submission channel."""
+        return bool(rng.random() < self.p_lost)
+
+    def draw_stuck(self, rng: np.random.Generator) -> bool:
+        """Sample the stuck-at-site channel."""
+        return bool(rng.random() < self.p_stuck)

@@ -1,0 +1,252 @@
+"""The grid facade: configuration, wiring and the client-visible API.
+
+``GridSimulator`` assembles the EGEE-like stack (sites + WMS + background
+load + fault injection) from a declarative :class:`GridConfig` and exposes
+the operations a client-side strategy needs: submit, cancel, observe
+start events, advance time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.gridsim.background import BackgroundLoad
+from repro.gridsim.events import Simulator
+from repro.gridsim.faults import FaultModel
+from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.site import ComputingElement
+from repro.gridsim.wms import WorkloadManager
+from repro.traces.generator import DiurnalProfile
+from repro.util.rng import RngLike, as_rng, spawn_rngs
+from repro.util.validation import check_positive
+
+__all__ = ["SiteConfig", "GridConfig", "GridSimulator", "default_grid_config"]
+
+
+@dataclass(frozen=True)
+class SiteConfig:
+    """Static description of one computing centre.
+
+    Attributes
+    ----------
+    name:
+        Site label (e.g. ``"ce03.biomed.example"``).
+    n_cores:
+        Worker cores behind the CE.
+    utilization:
+        Target background utilisation (≈0.9–0.97 reproduces EGEE's
+        saturated production regime).
+    runtime_median, runtime_sigma:
+        Log-normal parameters of background job runtimes.
+    """
+
+    name: str
+    n_cores: int
+    utilization: float = 0.9
+    runtime_median: float = 3600.0
+    runtime_sigma: float = 0.8
+
+
+@dataclass(frozen=True)
+class GridConfig:
+    """Full grid description (sites + middleware behaviour).
+
+    Attributes
+    ----------
+    sites:
+        Computing centres.
+    matchmaking_median, matchmaking_sigma:
+        Log-normal match-making delay at the WMS — the latency floor.
+    info_refresh:
+        Staleness period of the information system (s).
+    ranking_noise:
+        Multiplicative log-normal noise applied when ranking sites.
+    faults:
+        Outlier-producing fault channels.
+    diurnal_amplitude:
+        Amplitude of the shared daily load modulation (0 disables).
+    """
+
+    sites: tuple[SiteConfig, ...]
+    matchmaking_median: float = 60.0
+    matchmaking_sigma: float = 0.6
+    info_refresh: float = 300.0
+    ranking_noise: float = 0.3
+    faults: FaultModel = field(default_factory=FaultModel)
+    diurnal_amplitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.sites:
+            raise ValueError("grid needs at least one site")
+
+
+def default_grid_config(
+    *,
+    n_sites: int = 12,
+    seed: int = 7,
+    utilization: float = 0.92,
+    p_lost: float = 0.02,
+    p_stuck: float = 0.03,
+    diurnal_amplitude: float = 0.3,
+) -> GridConfig:
+    """An EGEE-biomed-flavoured default: heterogeneous, busy, faulty.
+
+    Core counts span 8–128 (grid sites vary by two orders of magnitude);
+    utilisation defaults near saturation so queue waits dominate, and the
+    fault channels inject a ρ of ~5% before queueing outliers.
+    """
+    rng = np.random.default_rng(seed)
+    cores_choices = np.array([8, 16, 24, 32, 48, 64, 96, 128])
+    sites = tuple(
+        SiteConfig(
+            name=f"ce{i:02d}",
+            n_cores=int(rng.choice(cores_choices)),
+            utilization=float(utilization * rng.uniform(0.9, 1.05)),
+            runtime_median=float(rng.uniform(1800.0, 7200.0)),
+            runtime_sigma=float(rng.uniform(0.6, 1.1)),
+        )
+        for i in range(n_sites)
+    )
+    return GridConfig(
+        sites=sites,
+        faults=FaultModel(p_lost=p_lost, p_stuck=p_stuck),
+        diurnal_amplitude=diurnal_amplitude,
+    )
+
+
+class GridSimulator:
+    """Executable grid built from a :class:`GridConfig`."""
+
+    def __init__(self, config: GridConfig, seed: RngLike = None) -> None:
+        self.config = config
+        self.sim = Simulator()
+        rngs = spawn_rngs(as_rng(seed), 2 + len(config.sites))
+        self._fault_rng = rngs[0]
+        diurnal = (
+            DiurnalProfile(amplitude=config.diurnal_amplitude)
+            if config.diurnal_amplitude > 0.0
+            else None
+        )
+        self.sites = [
+            ComputingElement(
+                sc.name, sc.n_cores, self.sim, on_start=self._notify_start
+            )
+            for sc in config.sites
+        ]
+        self.wms = WorkloadManager(
+            self.sim,
+            self.sites,
+            rngs[1],
+            matchmaking_median=config.matchmaking_median,
+            matchmaking_sigma=config.matchmaking_sigma,
+            info_refresh=config.info_refresh,
+            ranking_noise=config.ranking_noise,
+        )
+        self.background = [
+            BackgroundLoad(
+                site,
+                self.sim,
+                rng,
+                utilization=sc.utilization,
+                runtime_median=sc.runtime_median,
+                runtime_sigma=sc.runtime_sigma,
+                diurnal=diurnal,
+            )
+            for site, sc, rng in zip(self.sites, config.sites, rngs[2:])
+        ]
+        for bg in self.background:
+            bg.start()
+        self._start_watchers: dict[int, Callable[[Job], None]] = {}
+        #: counters
+        self.jobs_submitted = 0
+        self.jobs_lost = 0
+        self.jobs_stuck = 0
+
+    # -- time ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (s)."""
+        return self.sim.now
+
+    def run_until(self, t: float) -> None:
+        """Advance virtual time to ``t``."""
+        self.sim.run_until(t)
+
+    def warm_up(self, duration: float = 6 * 3600.0) -> None:
+        """Let the background load fill the queues before measuring."""
+        check_positive("duration", duration)
+        self.sim.run_until(self.sim.now + duration)
+
+    # -- client API ------------------------------------------------------
+
+    def submit(
+        self,
+        job: Job,
+        on_start: Callable[[Job], None] | None = None,
+    ) -> Job:
+        """Submit a job through the fault-prone middleware path.
+
+        Parameters
+        ----------
+        job:
+            A fresh :class:`Job` (state CREATED).
+        on_start:
+            Callback fired the moment the job starts on a worker.
+        """
+        job.submit_time = self.sim.now
+        self.jobs_submitted += 1
+        if on_start is not None:
+            self._start_watchers[job.job_id] = on_start
+        if self.config.faults.draw_lost(self._fault_rng):
+            job.state = JobState.LOST
+            self.jobs_lost += 1
+            return job
+        if self.config.faults.draw_stuck(self._fault_rng):
+            # the job will sit in a mis-configured queue forever: model it
+            # as matching that never dispatches
+            job.state = JobState.STUCK
+            self.jobs_stuck += 1
+            return job
+        self.wms.submit(job)
+        return job
+
+    def cancel(self, job: Job) -> None:
+        """Cancel a job wherever it is (matching, queued, running, stuck)."""
+        self._start_watchers.pop(job.job_id, None)
+        if job.state is JobState.MATCHING:
+            self.wms.cancel_matching(job)
+            return
+        if job.state in (JobState.STUCK, JobState.LOST):
+            job.state = JobState.CANCELLED
+            return
+        if job.state in (JobState.QUEUED, JobState.RUNNING):
+            for site in self.sites:
+                if site.name == job.site:
+                    site.cancel(job)
+                    return
+
+    # -- internals -------------------------------------------------------
+
+    def _notify_start(self, job: Job) -> None:
+        watcher = self._start_watchers.pop(job.job_id, None)
+        if watcher is not None:
+            watcher(job)
+
+    # -- telemetry -------------------------------------------------------
+
+    def total_queue_length(self) -> int:
+        """Jobs waiting across all sites."""
+        return sum(s.queue_length for s in self.sites)
+
+    def total_busy_cores(self) -> int:
+        """Cores in use across all sites."""
+        return sum(s.busy_cores for s in self.sites)
+
+    def utilization(self) -> float:
+        """Fraction of all cores currently busy."""
+        total = sum(s.n_cores for s in self.sites)
+        return self.total_busy_cores() / total

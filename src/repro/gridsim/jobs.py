@@ -1,0 +1,78 @@
+"""Job objects and their lifecycle states."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Job", "JobState"]
+
+_job_ids = itertools.count()
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a grid job in the simulator.
+
+    The paper's latency is the span SUBMITTED → RUNNING; jobs that end in
+    LOST or STUCK (cancelled by the client at its timeout) are outliers.
+    """
+
+    #: created, not yet handed to the WMS
+    CREATED = "created"
+    #: at the WMS (match-making in progress)
+    MATCHING = "matching"
+    #: in a computing element's batch queue
+    QUEUED = "queued"
+    #: executing on a worker node
+    RUNNING = "running"
+    #: finished execution
+    COMPLETED = "completed"
+    #: cancelled by the client (strategy timeout) before starting
+    CANCELLED = "cancelled"
+    #: swallowed by a middleware fault before reaching any queue
+    LOST = "lost"
+    #: sitting in a queue it will never leave (site misconfiguration)
+    STUCK = "stuck"
+
+
+@dataclass
+class Job:
+    """One grid job, with the timestamps the paper's probes log.
+
+    Attributes
+    ----------
+    runtime:
+        Execution duration once started (s).  Probes use ~0 (the paper's
+        ``/bin/hostname`` payload) so that only latency is measured.
+    submit_time / start_time / end_time:
+        Lifecycle timestamps in virtual seconds (NaN until reached).
+    site:
+        Name of the computing element the job was dispatched to.
+    tag:
+        Free-form owner tag (used by strategy executors to group copies).
+    """
+
+    runtime: float = 0.0
+    job_id: int = field(default_factory=lambda: next(_job_ids))
+    state: JobState = JobState.CREATED
+    submit_time: float = float("nan")
+    start_time: float = float("nan")
+    end_time: float = float("nan")
+    site: str = ""
+    tag: str = ""
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submission to execution start (inf if never ran)."""
+        if self.state in (JobState.RUNNING, JobState.COMPLETED):
+            return self.start_time - self.submit_time
+        return float("inf")
+
+    @property
+    def is_outlier(self) -> bool:
+        """True if the job never started (lost, stuck, or cancelled)."""
+        return self.state in (JobState.LOST, JobState.STUCK, JobState.CANCELLED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Job(#{self.job_id}, {self.state.value}, site={self.site or '-'})"

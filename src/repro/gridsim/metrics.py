@@ -1,0 +1,134 @@
+"""Time-series telemetry for the simulated grid.
+
+A :class:`GridMonitor` samples queue lengths, core utilisation and the
+dispatch/fault counters at a fixed virtual-time cadence, giving the
+load-feedback experiments (fleet adoption, §8 future work) the
+infrastructure-side view that scalar end-state numbers miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gridsim.grid import GridSimulator
+from repro.util.series import Series, SeriesBundle
+from repro.util.validation import check_positive
+
+__all__ = ["GridSample", "GridMonitor"]
+
+
+@dataclass(frozen=True)
+class GridSample:
+    """One telemetry sample.
+
+    Attributes
+    ----------
+    time:
+        Virtual time of the sample (s).
+    queued:
+        Jobs waiting across all sites.
+    busy_cores:
+        Cores in use across all sites.
+    utilization:
+        ``busy_cores / total_cores``.
+    jobs_submitted:
+        Cumulative client submissions at sample time.
+    """
+
+    time: float
+    queued: int
+    busy_cores: int
+    utilization: float
+    jobs_submitted: int
+
+
+@dataclass
+class GridMonitor:
+    """Periodic sampler attached to a :class:`GridSimulator`.
+
+    Call :meth:`start` once; samples accumulate every ``period`` virtual
+    seconds until :meth:`stop` (or for ``max_samples``).
+    """
+
+    grid: GridSimulator
+    period: float = 600.0
+    max_samples: int = 100_000
+    samples: list[GridSample] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        if self.max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {self.max_samples}")
+        self._running = False
+
+    def start(self) -> None:
+        """Begin sampling (takes an immediate first sample)."""
+        if self._running:
+            raise RuntimeError("monitor already running")
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop sampling at the next tick."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running or len(self.samples) >= self.max_samples:
+            self._running = False
+            return
+        self.samples.append(
+            GridSample(
+                time=self.grid.now,
+                queued=self.grid.total_queue_length(),
+                busy_cores=self.grid.total_busy_cores(),
+                utilization=self.grid.utilization(),
+                jobs_submitted=self.grid.jobs_submitted,
+            )
+        )
+        self.grid.sim.schedule(self.period, self._tick)
+
+    # -- views ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def times(self) -> np.ndarray:
+        """Sample timestamps."""
+        return np.array([s.time for s in self.samples])
+
+    def queue_series(self) -> Series:
+        """Queued jobs over time."""
+        return Series(
+            "queued jobs",
+            self.times(),
+            np.array([s.queued for s in self.samples], dtype=np.float64),
+        )
+
+    def utilization_series(self) -> Series:
+        """Core utilisation over time."""
+        return Series(
+            "utilization",
+            self.times(),
+            np.array([s.utilization for s in self.samples]),
+        )
+
+    def bundle(self, title: str = "grid telemetry") -> SeriesBundle:
+        """Both series as a figure-ready bundle."""
+        out = SeriesBundle(title=title, x_label="time (s)", y_label="value")
+        out.add(self.queue_series())
+        out.add(self.utilization_series())
+        return out
+
+    def peak_queue(self) -> int:
+        """Maximum observed queue length."""
+        if not self.samples:
+            raise ValueError("no samples collected")
+        return max(s.queued for s in self.samples)
+
+    def mean_utilization(self) -> float:
+        """Time-average utilisation over the samples."""
+        if not self.samples:
+            raise ValueError("no samples collected")
+        return float(np.mean([s.utilization for s in self.samples]))

@@ -1,0 +1,109 @@
+"""The paper's probe measurement protocol on the simulated grid (§3.2).
+
+A constant number of probe slots is maintained: each slot submits a probe
+job (near-null runtime), waits until it starts or hits the measurement
+timeout (10,000 s — then cancels it and counts an outlier), and
+immediately submits the next probe.  The output is a
+:class:`~repro.traces.TraceSet`, so the whole modeling pipeline (ECDF →
+strategy optimisation) runs unchanged on simulated data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gridsim.grid import GridSimulator
+from repro.gridsim.jobs import Job
+from repro.traces.dataset import TraceSet
+from repro.traces.records import PROBE_TIMEOUT
+from repro.util.validation import check_positive
+
+__all__ = ["ProbeExperiment"]
+
+
+class ProbeExperiment:
+    """Constant-in-flight probe measurement campaign."""
+
+    def __init__(
+        self,
+        grid: GridSimulator,
+        *,
+        n_slots: int = 20,
+        timeout: float = PROBE_TIMEOUT,
+        probe_runtime: float = 1.0,
+    ) -> None:
+        if n_slots < 1:
+            raise ValueError(f"n_slots must be >= 1, got {n_slots}")
+        check_positive("timeout", timeout)
+        check_positive("probe_runtime", probe_runtime)
+        self.grid = grid
+        self.n_slots = int(n_slots)
+        self.timeout = timeout
+        self.probe_runtime = probe_runtime
+        self._submit_times: list[float] = []
+        self._latencies: list[float] = []
+        self._codes: list[int] = []
+        self._deadline = 0.0
+
+    def run(self, duration: float, *, name: str = "gridsim-probes") -> TraceSet:
+        """Run the campaign for ``duration`` virtual seconds.
+
+        Probes still pending at the end of the campaign are not recorded
+        (their outcome is unknown), matching the paper's trace semantics.
+        """
+        check_positive("duration", duration)
+        start = self.grid.now
+        self._deadline = start + duration
+        for _ in range(self.n_slots):
+            self._launch_probe()
+        # run long enough for the last probes to resolve (one timeout past
+        # the deadline covers every pending probe)
+        self.grid.run_until(self._deadline + self.timeout + 1.0)
+        if not self._submit_times:
+            raise RuntimeError("probe campaign recorded no probes")
+        order = np.argsort(self._submit_times, kind="stable")
+        return TraceSet(
+            name=name,
+            submit_times=np.asarray(self._submit_times)[order] - start,
+            latencies=np.asarray(self._latencies)[order],
+            status_codes=np.asarray(self._codes, dtype=np.int8)[order],
+            timeout=self.timeout,
+        )
+
+    # -- slot machinery ----------------------------------------------------
+
+    def _launch_probe(self) -> None:
+        if self.grid.now >= self._deadline:
+            return
+        job = Job(runtime=self.probe_runtime, tag="probe")
+        submit_time = self.grid.now
+        state = {"done": False}
+
+        def on_start(j: Job) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            timeout_ev.cancel()
+            self._record(submit_time, j.start_time - submit_time, 0)
+            # §3.2: "a new probe was submitted each time another one
+            # completed" — schedule the next probe after the (near-null)
+            # payload finishes
+            self.grid.sim.schedule(self.probe_runtime, self._launch_probe)
+
+        def on_timeout() -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            self.grid.cancel(job)
+            self._record(submit_time, float("inf"), 1)
+            self._launch_probe()
+
+        timeout_ev = self.grid.sim.schedule(self.timeout, on_timeout)
+        self.grid.submit(job, on_start=on_start)
+
+    def _record(self, submit_time: float, latency: float, code: int) -> None:
+        if submit_time >= self._deadline:
+            return
+        self._submit_times.append(submit_time)
+        self._latencies.append(latency)
+        self._codes.append(code)

@@ -1,0 +1,120 @@
+"""Workload Management Server: match-making and site ranking.
+
+Paper §3.1: a WMS "receives and queues the jobs submitted before
+dispatching them to the connected computing centers".  Two EGEE realities
+are modelled because they shape the latency distribution:
+
+* **match-making delay** — credential delegation, requirement matching
+  and dispatch take a stochastic, heavy-ish time (log-normal), which is
+  the floor of the observed latency;
+* **stale information** — the WMS ranks sites on load estimates
+  refreshed only periodically (grid information systems publish slowly),
+  plus ranking noise, so jobs regularly land on queues that are no
+  longer the shortest — one of the §1 "partial information" effects.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.gridsim.events import Simulator
+from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.site import ComputingElement
+from repro.util.validation import check_nonnegative, check_positive
+
+__all__ = ["WorkloadManager"]
+
+
+class WorkloadManager:
+    """Match-maker and dispatcher over a set of computing elements."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sites: Sequence[ComputingElement],
+        rng: np.random.Generator,
+        *,
+        matchmaking_median: float = 60.0,
+        matchmaking_sigma: float = 0.6,
+        info_refresh: float = 300.0,
+        ranking_noise: float = 0.3,
+        runtime_guess: float = 3600.0,
+    ) -> None:
+        if not sites:
+            raise ValueError("WMS needs at least one computing element")
+        check_positive("matchmaking_median", matchmaking_median)
+        check_nonnegative("matchmaking_sigma", matchmaking_sigma)
+        check_positive("info_refresh", info_refresh)
+        check_nonnegative("ranking_noise", ranking_noise)
+        check_positive("runtime_guess", runtime_guess)
+        self.sim = sim
+        self.sites = list(sites)
+        self.rng = rng
+        self.matchmaking_median = matchmaking_median
+        self.matchmaking_sigma = matchmaking_sigma
+        self.info_refresh = info_refresh
+        self.ranking_noise = ranking_noise
+        self.runtime_guess = runtime_guess
+        self._snapshot: np.ndarray = self._measure_loads()
+        self._snapshot_time: float = sim.now
+        self.dispatch_count = 0
+
+    # -- information system -------------------------------------------------
+
+    def _measure_loads(self) -> np.ndarray:
+        return np.array(
+            [s.estimated_wait(self.runtime_guess) for s in self.sites]
+        )
+
+    def current_snapshot(self) -> np.ndarray:
+        """Stale load estimates, refreshed every ``info_refresh`` seconds."""
+        if self.sim.now - self._snapshot_time >= self.info_refresh:
+            self._snapshot = self._measure_loads()
+            self._snapshot_time = self.sim.now
+        return self._snapshot
+
+    # -- submission path -----------------------------------------------------
+
+    def submit(self, job: Job, then: Callable[[Job], None] | None = None) -> None:
+        """Accept a job: match-making delay, then dispatch to a site.
+
+        ``then`` is invoked right after the job is enqueued at its site
+        (used by fault injection wrappers and tests).
+        """
+        if job.state is not JobState.CREATED:
+            raise ValueError(f"cannot submit job in state {job.state}")
+        job.state = JobState.MATCHING
+        delay = float(
+            self.rng.lognormal(
+                mean=np.log(self.matchmaking_median), sigma=self.matchmaking_sigma
+            )
+        )
+        self.sim.schedule(delay, lambda: self._dispatch(job, then))
+
+    def _dispatch(self, job: Job, then: Callable[[Job], None] | None) -> None:
+        if job.state is not JobState.MATCHING:
+            return  # cancelled while matching
+        site = self.select_site()
+        self.dispatch_count += 1
+        site.enqueue(job)
+        if then is not None:
+            then(job)
+
+    def select_site(self) -> ComputingElement:
+        """Rank sites by stale estimated wait plus multiplicative noise."""
+        est = self.current_snapshot()
+        if self.ranking_noise > 0.0:
+            noise = self.rng.lognormal(0.0, self.ranking_noise, size=est.size)
+            scores = (est + self.matchmaking_median) * noise
+        else:
+            scores = est
+        return self.sites[int(np.argmin(scores))]
+
+    def cancel_matching(self, job: Job) -> bool:
+        """Cancel a job still in match-making (before any queue)."""
+        if job.state is JobState.MATCHING:
+            job.state = JobState.CANCELLED
+            return True
+        return False

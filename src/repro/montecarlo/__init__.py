@@ -1,0 +1,26 @@
+"""Monte-Carlo replay of the submission strategies.
+
+The analytic moments of :mod:`repro.core` are validated by replaying each
+strategy against latencies sampled from the same :class:`~repro.core.model.LatencyModel`
+(outliers drawn as ``+inf`` with probability ``ρ``).  The engines are
+fully vectorised over jobs; per-job Python loops are avoided per the HPC
+guidance.
+"""
+
+from repro.montecarlo.engine import (
+    McRun,
+    simulate_delayed,
+    simulate_multiple,
+    simulate_single,
+)
+from repro.montecarlo.compare import agreement_zscore, mc_summary, McSummary
+
+__all__ = [
+    "McRun",
+    "simulate_single",
+    "simulate_multiple",
+    "simulate_delayed",
+    "mc_summary",
+    "McSummary",
+    "agreement_zscore",
+]

@@ -1,0 +1,68 @@
+"""Workload traces: containers, synthesis, and archive formats.
+
+The paper's reference data is a set of probe-job traces from the EGEE
+biomed VO (12 sets, 10,893 probes, 10,000 s timeout).  Those traces are
+not publicly bundled, so this package provides:
+
+* :class:`ProbeRecord` / :class:`TraceSet` — the trace data model
+  (submission date, final status, latency — exactly the fields the paper
+  logs per probe in §3.2);
+* :mod:`repro.traces.paper` — the paper's per-week Table 1 statistics as
+  calibration targets, and synthesis of statistically matched trace sets;
+* :mod:`repro.traces.calibration` — truncated-moment solvers that find
+  distribution parameters reproducing a target (mean, std, ρ) triple;
+* :mod:`repro.traces.generator` — nonstationary probe-stream generation
+  (diurnal load, bursts) following the paper's constant-probe protocol;
+* :mod:`repro.traces.gwf` / :mod:`repro.traces.swf` — Grid Workloads
+  Archive (GWF) and Standard Workload Format (SWF) readers/writers so the
+  pipeline runs on real public traces;
+* :mod:`repro.traces.io` — CSV / JSON-lines round-trip of trace sets.
+"""
+
+from repro.traces.records import JobStatus, ProbeRecord
+from repro.traces.dataset import TraceSet
+from repro.traces.calibration import CalibrationResult, calibrate_lognormal
+from repro.traces.paper import (
+    PAPER_TABLE1,
+    PaperWeekStats,
+    WEEKS,
+    WEEKLY_SETS,
+    synthesize_all,
+    synthesize_week,
+)
+from repro.traces.generator import DiurnalProfile, generate_probe_trace
+from repro.traces.gwf import read_gwf, write_gwf
+from repro.traces.report import TraceReport, characterize
+from repro.traces.swf import read_swf, write_swf
+from repro.traces.io import (
+    read_trace_csv,
+    read_trace_jsonl,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+
+__all__ = [
+    "JobStatus",
+    "ProbeRecord",
+    "TraceSet",
+    "CalibrationResult",
+    "calibrate_lognormal",
+    "PAPER_TABLE1",
+    "PaperWeekStats",
+    "WEEKS",
+    "WEEKLY_SETS",
+    "synthesize_all",
+    "synthesize_week",
+    "DiurnalProfile",
+    "generate_probe_trace",
+    "TraceReport",
+    "characterize",
+    "read_gwf",
+    "write_gwf",
+    "read_swf",
+    "write_swf",
+    "read_trace_csv",
+    "write_trace_csv",
+    "read_trace_jsonl",
+    "write_trace_jsonl",
+]

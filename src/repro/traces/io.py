@@ -1,0 +1,159 @@
+"""CSV and JSON-lines round-trip of trace sets.
+
+The native serialisations: CSV for spreadsheet interoperability, JSONL
+for streaming pipelines.  Both carry the full record (submit time,
+latency, status) plus the trace metadata (name, timeout) in a header.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+from repro.traces.dataset import TraceSet
+from repro.traces.records import PROBE_TIMEOUT
+
+__all__ = [
+    "write_trace_csv",
+    "read_trace_csv",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+]
+
+_CODE_NAME = {0: "completed", 1: "timeout", 2: "fault"}
+_NAME_CODE = {v: k for k, v in _CODE_NAME.items()}
+
+
+def write_trace_csv(trace: TraceSet, target: str | Path | TextIO) -> None:
+    """Write ``job_id,submit_time,latency,status`` rows with a ``#`` header."""
+    should_close = isinstance(target, (str, Path))
+    fh: TextIO = (
+        open(target, "w", encoding="utf-8", newline="") if should_close else target
+    )
+    try:
+        fh.write(f"# trace={trace.name} timeout={trace.timeout:g}\n")
+        writer = csv.writer(fh)
+        writer.writerow(["job_id", "submit_time", "latency", "status"])
+        for i in range(len(trace)):
+            lat = trace.latencies[i]
+            writer.writerow(
+                [
+                    i,
+                    f"{trace.submit_times[i]:.6f}",
+                    "inf" if not np.isfinite(lat) else f"{lat:.6f}",
+                    _CODE_NAME[int(trace.status_codes[i])],
+                ]
+            )
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_trace_csv(source: str | Path | TextIO) -> TraceSet:
+    """Read a trace set written by :func:`write_trace_csv`."""
+    should_close = isinstance(source, (str, Path))
+    fh: TextIO = open(source, "r", encoding="utf-8") if should_close else source
+    try:
+        name = "trace"
+        timeout = PROBE_TIMEOUT
+        first = fh.readline()
+        if first.startswith("#"):
+            for token in first[1:].split():
+                if token.startswith("trace="):
+                    name = token[len("trace="):]
+                elif token.startswith("timeout="):
+                    timeout = float(token[len("timeout="):])
+            header_line = fh.readline()
+        else:
+            header_line = first
+        header = [h.strip() for h in header_line.strip().split(",")]
+        expected = ["job_id", "submit_time", "latency", "status"]
+        if header != expected:
+            raise ValueError(f"unexpected CSV header {header!r}, want {expected!r}")
+        submit, lat, codes = [], [], []
+        for row in csv.reader(fh):
+            if not row:
+                continue
+            submit.append(float(row[1]))
+            lat.append(float("inf") if row[2] == "inf" else float(row[2]))
+            codes.append(_NAME_CODE[row[3]])
+        if not submit:
+            raise ValueError("CSV contains no probe rows")
+        return TraceSet(
+            name=name,
+            submit_times=np.asarray(submit),
+            latencies=np.asarray(lat),
+            status_codes=np.asarray(codes, dtype=np.int8),
+            timeout=timeout,
+        )
+    finally:
+        if should_close:
+            fh.close()
+
+
+def write_trace_jsonl(trace: TraceSet, target: str | Path | TextIO) -> None:
+    """Write one JSON object per probe, preceded by a metadata object."""
+    should_close = isinstance(target, (str, Path))
+    fh: TextIO = open(target, "w", encoding="utf-8") if should_close else target
+    try:
+        fh.write(
+            json.dumps(
+                {"kind": "trace_meta", "name": trace.name, "timeout": trace.timeout}
+            )
+            + "\n"
+        )
+        for i in range(len(trace)):
+            lat = trace.latencies[i]
+            fh.write(
+                json.dumps(
+                    {
+                        "job_id": i,
+                        "submit_time": float(trace.submit_times[i]),
+                        "latency": None if not np.isfinite(lat) else float(lat),
+                        "status": _CODE_NAME[int(trace.status_codes[i])],
+                    }
+                )
+                + "\n"
+            )
+    finally:
+        if should_close:
+            fh.close()
+
+
+def read_trace_jsonl(source: str | Path | TextIO) -> TraceSet:
+    """Read a trace set written by :func:`write_trace_jsonl`."""
+    should_close = isinstance(source, (str, Path))
+    fh: TextIO = open(source, "r", encoding="utf-8") if should_close else source
+    try:
+        name = "trace"
+        timeout = PROBE_TIMEOUT
+        submit, lat, codes = [], [], []
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if obj.get("kind") == "trace_meta":
+                name = obj.get("name", name)
+                timeout = float(obj.get("timeout", timeout))
+                continue
+            submit.append(float(obj["submit_time"]))
+            value = obj["latency"]
+            lat.append(float("inf") if value is None else float(value))
+            codes.append(_NAME_CODE[obj["status"]])
+        if not submit:
+            raise ValueError("JSONL contains no probe rows")
+        return TraceSet(
+            name=name,
+            submit_times=np.asarray(submit),
+            latencies=np.asarray(lat),
+            status_codes=np.asarray(codes, dtype=np.int8),
+            timeout=timeout,
+        )
+    finally:
+        if should_close:
+            fh.close()

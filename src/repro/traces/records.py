@@ -1,0 +1,79 @@
+"""Probe job records — the unit of trace data.
+
+Paper §3.2: *"For each probe job, the job submission date, the job final
+status and the total duration were logged."*  A record carries exactly
+that, with the 10,000 s timeout convention for outliers.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = ["JobStatus", "ProbeRecord", "PROBE_TIMEOUT"]
+
+#: the paper's probe timeout: latencies beyond this are outliers (§3.2)
+PROBE_TIMEOUT: float = 10_000.0
+
+
+class JobStatus(enum.Enum):
+    """Final status of a probe job."""
+
+    #: the job started (and, being a probe, immediately completed)
+    COMPLETED = "completed"
+    #: the job exceeded the measurement timeout and was cancelled
+    TIMEOUT = "timeout"
+    #: the job failed outright (middleware error, aborted, lost)
+    FAULT = "fault"
+
+    @property
+    def is_outlier(self) -> bool:
+        """Timeouts and faults both count into the outlier ratio ρ."""
+        return self is not JobStatus.COMPLETED
+
+
+@dataclass(frozen=True)
+class ProbeRecord:
+    """One probe job observation.
+
+    Attributes
+    ----------
+    job_id:
+        Identifier unique within the trace set.
+    submit_time:
+        Submission date in seconds since the start of the trace.
+    latency:
+        Seconds from submission to execution start.  ``inf`` for
+        outliers (never started); finite values above the probe timeout
+        are invalid.
+    status:
+        Final :class:`JobStatus`.
+    """
+
+    job_id: int
+    submit_time: float
+    latency: float
+    status: JobStatus
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0 or math.isnan(self.submit_time):
+            raise ValueError(f"submit_time must be >= 0, got {self.submit_time!r}")
+        if math.isnan(self.latency):
+            raise ValueError("latency must not be NaN (use inf for outliers)")
+        if self.status is JobStatus.COMPLETED:
+            if not math.isfinite(self.latency) or self.latency < 0:
+                raise ValueError(
+                    f"completed job must have finite latency >= 0, got "
+                    f"{self.latency!r}"
+                )
+        elif math.isfinite(self.latency):
+            raise ValueError(
+                f"{self.status.value} job must have latency == inf, got "
+                f"{self.latency!r}"
+            )
+
+    @property
+    def is_outlier(self) -> bool:
+        """Whether this probe counts into ρ."""
+        return self.status.is_outlier

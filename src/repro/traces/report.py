@@ -1,0 +1,141 @@
+"""Trace characterization reports.
+
+One call summarises a trace set the way a workload-archive study would:
+population counts, latency moments and percentiles, outlier breakdown,
+best-fitting parametric families, and a simple stationarity check
+(first-half vs second-half statistics) — the due diligence before
+trusting any strategy optimised on the trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distributions.fitting import FitResult, select_model
+from repro.traces.dataset import TraceSet
+from repro.util.tables import Table, format_float, format_seconds
+
+__all__ = ["TraceReport", "characterize"]
+
+_PERCENTILES = (5.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0)
+
+
+@dataclass(frozen=True)
+class TraceReport:
+    """Everything :func:`characterize` derives from a trace set.
+
+    Attributes
+    ----------
+    name:
+        Trace-set name.
+    n_jobs, n_outliers:
+        Population counts.
+    rho:
+        Outlier ratio.
+    mean, std, cv:
+        Moments of the non-outlier latency (cv = std/mean — values above
+        1 flag heavy tails).
+    percentiles:
+        Mapping percentile → latency (s).
+    fits:
+        Parametric fits ranked by AIC (best first).
+    half_drift:
+        Relative difference between the first- and second-half mean
+        latencies — a crude nonstationarity indicator.
+    """
+
+    name: str
+    n_jobs: int
+    n_outliers: int
+    rho: float
+    mean: float
+    std: float
+    cv: float
+    percentiles: dict[float, float]
+    fits: list[FitResult]
+    half_drift: float
+
+    @property
+    def is_heavy_tailed(self) -> bool:
+        """Coefficient-of-variation heuristic (cv > 1)."""
+        return self.cv > 1.0
+
+    @property
+    def best_family(self) -> str:
+        """The AIC-best parametric family."""
+        return self.fits[0].family if self.fits else "none"
+
+    def to_table(self) -> Table:
+        """Render as a two-column summary table."""
+        table = Table(title=f"trace characterization: {self.name}",
+                      columns=["quantity", "value"])
+        table.add_row("jobs", self.n_jobs)
+        table.add_row("outliers", f"{self.n_outliers} (rho={self.rho:.3f})")
+        table.add_row("mean latency", format_seconds(self.mean))
+        table.add_row("std latency", format_seconds(self.std))
+        table.add_row("coeff. of variation", format_float(self.cv, 2))
+        for p, v in self.percentiles.items():
+            table.add_row(f"p{p:g}", format_seconds(v))
+        table.add_row("best family (AIC)", self.best_family)
+        table.add_row("half-drift", f"{self.half_drift:+.1%}")
+        table.add_row(
+            "heavy-tailed", "yes" if self.is_heavy_tailed else "no"
+        )
+        return table
+
+
+def characterize(
+    trace: TraceSet,
+    *,
+    fit_families: tuple[str, ...] | None = ("lognormal", "weibull", "gamma"),
+) -> TraceReport:
+    """Produce a :class:`TraceReport` for one trace set.
+
+    Parameters
+    ----------
+    trace:
+        The trace to characterise.
+    fit_families:
+        Families to rank by AIC (``None`` skips fitting, e.g. for tiny
+        traces).
+    """
+    latencies = trace.successful_latencies
+    if latencies.size < 2:
+        raise ValueError(
+            f"trace {trace.name!r} has too few successful probes to characterise"
+        )
+    mean = float(latencies.mean())
+    std = float(latencies.std())
+    percentiles = {
+        p: float(np.percentile(latencies, p)) for p in _PERCENTILES
+    }
+
+    fits: list[FitResult] = []
+    if fit_families is not None and latencies.size >= 8:
+        fits = select_model(latencies, families=fit_families, criterion="aic")
+
+    # first-half vs second-half (by submission time) mean drift
+    order = np.argsort(trace.submit_times, kind="stable")
+    ok_sorted = trace.latencies[order]
+    finite_sorted = ok_sorted[np.isfinite(ok_sorted)]
+    half = finite_sorted.size // 2
+    if half >= 1:
+        first, second = finite_sorted[:half], finite_sorted[half:]
+        half_drift = float(second.mean() / first.mean() - 1.0)
+    else:
+        half_drift = 0.0
+
+    return TraceReport(
+        name=trace.name,
+        n_jobs=len(trace),
+        n_outliers=trace.n_outliers,
+        rho=trace.outlier_ratio,
+        mean=mean,
+        std=std,
+        cv=std / mean if mean > 0 else float("inf"),
+        percentiles=percentiles,
+        fits=fits,
+        half_drift=half_drift,
+    )

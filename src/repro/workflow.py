@@ -1,0 +1,252 @@
+"""High-level planning API: from a trace to a recommended strategy.
+
+Wraps the full pipeline the examples walk through manually — model the
+trace, optimise every strategy family, apply the user's constraints
+(infrastructure budget, deadline quantile) and rank the feasible
+candidates — into one call::
+
+    plan = repro.workflow.plan_submissions(trace, max_parallel=2.0)
+    print(plan.render())
+    strategy = plan.best.strategy      # ready-to-deploy parameters
+
+This is the "integrated in the client side of the middleware to release
+the users of this burden" endpoint the paper's introduction argues for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.distribution_of_j import strategy_quantile
+from repro.core.model import GriddedLatencyModel
+from repro.core.optimize import (
+    optimize_delayed,
+    optimize_delayed_cost,
+    optimize_multiple,
+    optimize_single,
+)
+from repro.core.strategies import (
+    DelayedResubmission,
+    MultipleSubmission,
+    SingleResubmission,
+    Strategy,
+)
+from repro.traces.dataset import TraceSet
+from repro.util.grids import TimeGrid
+from repro.util.tables import Table, format_float, format_seconds
+from repro.util.validation import check_in_range
+
+__all__ = ["StrategyCandidate", "SubmissionPlan", "plan_submissions"]
+
+
+@dataclass(frozen=True)
+class StrategyCandidate:
+    """One evaluated strategy configuration.
+
+    Attributes
+    ----------
+    name:
+        Short label (``"single"``, ``"multiple b=3"``, …).
+    strategy:
+        The parameterised strategy object, ready to deploy.
+    e_j:
+        Expected total latency (s).
+    sigma_j:
+        Standard deviation of the total latency (s).
+    n_parallel:
+        Mean number of identical copies in flight.
+    cost:
+        ``Δcost`` against the optimal single resubmission.
+    deadline:
+        The requested quantile of ``J`` (s), if a deadline level was
+        given (else ``nan``).
+    """
+
+    name: str
+    strategy: Strategy
+    e_j: float
+    sigma_j: float
+    n_parallel: float
+    cost: float
+    deadline: float = float("nan")
+
+
+@dataclass
+class SubmissionPlan:
+    """Ranked feasible strategies plus the rejected ones (with reasons)."""
+
+    candidates: list[StrategyCandidate]
+    rejected: list[tuple[StrategyCandidate, str]] = field(default_factory=list)
+    objective: str = "e_j"
+
+    @property
+    def best(self) -> StrategyCandidate:
+        """The top-ranked feasible candidate."""
+        if not self.candidates:
+            raise ValueError(
+                "no strategy satisfies the constraints; relax max_parallel "
+                "or max_cost"
+            )
+        return self.candidates[0]
+
+    def render(self) -> str:
+        """Monospace comparison table (feasible first, then rejected)."""
+        table = Table(
+            title=f"submission plan (objective: minimise {self.objective})",
+            columns=[
+                "rank", "strategy", "E_J", "sigma_J", "N_//", "cost", "note",
+            ],
+        )
+        for i, cand in enumerate(self.candidates, start=1):
+            table.add_row(
+                i,
+                cand.strategy.describe(),
+                format_seconds(cand.e_j),
+                format_seconds(cand.sigma_j),
+                format_float(cand.n_parallel, 2),
+                format_float(cand.cost, 2),
+                "",
+            )
+        for cand, reason in self.rejected:
+            table.add_row(
+                "-",
+                cand.strategy.describe(),
+                format_seconds(cand.e_j),
+                format_seconds(cand.sigma_j),
+                format_float(cand.n_parallel, 2),
+                format_float(cand.cost, 2),
+                f"rejected: {reason}",
+            )
+        return table.render()
+
+
+def plan_submissions(
+    trace: TraceSet | GriddedLatencyModel,
+    *,
+    max_parallel: float = 3.0,
+    max_cost: float | None = None,
+    objective: str = "e_j",
+    deadline_quantile: float | None = None,
+    b_values: tuple[int, ...] = (2, 3, 5),
+    grid: TimeGrid | None = None,
+    t0_window: tuple[float, float] = (60.0, 2500.0),
+) -> SubmissionPlan:
+    """Evaluate and rank the paper's strategies for a workload.
+
+    Parameters
+    ----------
+    trace:
+        A :class:`TraceSet` (modelled empirically) or an already gridded
+        latency model.
+    max_parallel:
+        Infrastructure budget: candidates with mean parallel jobs above
+        this are rejected.
+    max_cost:
+        Optional ``Δcost`` ceiling (e.g. 1.0 to demand win-win
+        configurations only).
+    objective:
+        ``"e_j"`` (fastest), ``"cost"`` (lightest) or ``"sigma"``
+        (most predictable).
+    deadline_quantile:
+        If given (e.g. 0.95), each candidate also reports that quantile
+        of ``J`` and the ranking can use ``objective="deadline"``.
+    b_values:
+        Burst sizes to consider for the multiple strategy.
+    grid:
+        Evaluation grid (default: the paper's 1 s × 10,000 s).
+    t0_window:
+        Search window for the delayed strategy's ``t0``.
+    """
+    objectives = {"e_j", "cost", "sigma", "deadline"}
+    if objective not in objectives:
+        raise ValueError(f"objective must be one of {sorted(objectives)}")
+    if objective == "deadline" and deadline_quantile is None:
+        raise ValueError("objective='deadline' requires deadline_quantile")
+    if deadline_quantile is not None:
+        check_in_range(
+            "deadline_quantile", deadline_quantile, 0.0, 1.0,
+            inclusive=(False, False),
+        )
+    if max_parallel < 1.0:
+        raise ValueError(f"max_parallel must be >= 1, got {max_parallel}")
+
+    model = (
+        trace
+        if isinstance(trace, GriddedLatencyModel)
+        else trace.to_latency_model().on_grid(grid)
+    )
+
+    single = optimize_single(model)
+    candidates: list[StrategyCandidate] = []
+
+    def evaluate(name: str, strategy: Strategy) -> StrategyCandidate:
+        moments = strategy.moments(model)
+        n_par = strategy.mean_parallel_jobs(model)
+        deadline = (
+            strategy_quantile(model, strategy, deadline_quantile)
+            if deadline_quantile is not None
+            else float("nan")
+        )
+        return StrategyCandidate(
+            name=name,
+            strategy=strategy,
+            e_j=moments.expectation,
+            sigma_j=moments.std,
+            n_parallel=n_par,
+            cost=n_par * moments.expectation / single.e_j,
+            deadline=deadline,
+        )
+
+    candidates.append(
+        evaluate("single", SingleResubmission(t_inf=single.t_inf))
+    )
+    for b in b_values:
+        opt = optimize_multiple(model, b)
+        candidates.append(
+            evaluate(f"multiple b={b}", MultipleSubmission(b=b, t_inf=opt.t_inf))
+        )
+    fastest = optimize_delayed(
+        model, t0_min=t0_window[0], t0_max=t0_window[1], e_j_single=single.e_j
+    )
+    candidates.append(
+        evaluate(
+            "delayed (fast)",
+            DelayedResubmission(t0=fastest.t0, t_inf=fastest.t_inf),
+        )
+    )
+    lightest = optimize_delayed_cost(
+        model, single.e_j, t0_min=t0_window[0], t0_max=t0_window[1]
+    )
+    candidates.append(
+        evaluate(
+            "delayed (cheap)",
+            DelayedResubmission(t0=lightest.t0, t_inf=lightest.t_inf),
+        )
+    )
+
+    feasible: list[StrategyCandidate] = []
+    rejected: list[tuple[StrategyCandidate, str]] = []
+    for cand in candidates:
+        if cand.n_parallel > max_parallel + 1e-9:
+            rejected.append(
+                (cand, f"N_// {cand.n_parallel:.2f} > budget {max_parallel}")
+            )
+        elif max_cost is not None and cand.cost > max_cost + 1e-9:
+            rejected.append(
+                (cand, f"cost {cand.cost:.2f} > ceiling {max_cost}")
+            )
+        else:
+            feasible.append(cand)
+
+    keyfuncs = {
+        "e_j": lambda c: c.e_j,
+        "cost": lambda c: c.cost,
+        "sigma": lambda c: c.sigma_j,
+        "deadline": lambda c: c.deadline if np.isfinite(c.deadline) else np.inf,
+    }
+    feasible.sort(key=keyfuncs[objective])
+    return SubmissionPlan(
+        candidates=feasible, rejected=rejected, objective=objective
+    )

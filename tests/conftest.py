@@ -1,0 +1,54 @@
+"""Shared fixtures: fast latency models and synthesized reference traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import LatencyModel
+from repro.distributions.parametric import LogNormal
+from repro.distributions.shifted import ShiftedDistribution
+from repro.traces.paper import synthesize_week
+from repro.util.grids import TimeGrid
+
+
+@pytest.fixture(scope="session")
+def lognormal_model() -> LatencyModel:
+    """A paper-like heavy-tailed model: 100 s floor + log-normal body, ρ=5%."""
+    dist = ShiftedDistribution(LogNormal(mu=5.5, sigma=1.0), shift=100.0)
+    return LatencyModel(distribution=dist, rho=0.05, name="test-lognormal")
+
+
+@pytest.fixture(scope="session")
+def gridded(lognormal_model):
+    """The same model on a coarse grid — fast enough for sweeps in tests."""
+    return lognormal_model.on_grid(TimeGrid(t_max=8000.0, dt=2.0))
+
+
+@pytest.fixture(scope="session")
+def faultless_model() -> LatencyModel:
+    """No-outlier variant (ρ=0) for edge-case tests."""
+    dist = ShiftedDistribution(LogNormal(mu=5.5, sigma=1.0), shift=100.0)
+    return LatencyModel(distribution=dist, rho=0.0, name="test-faultless")
+
+
+@pytest.fixture(scope="session")
+def gridded_faultless(faultless_model):
+    return faultless_model.on_grid(TimeGrid(t_max=8000.0, dt=2.0))
+
+
+@pytest.fixture(scope="session")
+def trace_2006():
+    """A synthesized 2006-IX trace set (the paper's main dataset)."""
+    return synthesize_week("2006-IX", seed=7)
+
+
+@pytest.fixture(scope="session")
+def gridded_2006(trace_2006):
+    """Empirical gridded model of the synthesized 2006-IX trace."""
+    return trace_2006.to_latency_model().on_grid(TimeGrid(t_max=10_000.0, dt=2.0))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,116 @@
+"""Tests for stability and transfer analyses (Tables 5–6 machinery)."""
+
+import pytest
+
+from repro.analysis import stability_analysis, transfer_matrix
+from repro.core.optimize import optimize_delayed_cost, optimize_single
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    gridded = request.getfixturevalue("gridded")
+    single = optimize_single(gridded)
+    opt = optimize_delayed_cost(gridded, single.e_j, t0_min=150.0, t0_max=1500.0)
+    return gridded, single, opt
+
+
+class TestStability:
+    def test_center_cost_matches_optimum(self, setup):
+        gridded, single, opt = setup
+        report = stability_analysis(
+            gridded, opt.t0, opt.t_inf, single.e_j, radius=3
+        )
+        assert report.cost_center == pytest.approx(opt.cost, rel=1e-9)
+
+    def test_max_at_least_center(self, setup):
+        gridded, single, opt = setup
+        report = stability_analysis(gridded, opt.t0, opt.t_inf, single.e_j)
+        assert report.cost_max >= report.cost_center
+        assert report.relative_diff >= 0.0
+
+    def test_radius_zero_only_center(self, setup):
+        gridded, single, opt = setup
+        report = stability_analysis(
+            gridded, opt.t0, opt.t_inf, single.e_j, radius=0
+        )
+        assert report.cost_max == report.cost_center
+        assert report.n_evaluated == 1
+
+    def test_larger_radius_no_better(self, setup):
+        gridded, single, opt = setup
+        small = stability_analysis(gridded, opt.t0, opt.t_inf, single.e_j, radius=2)
+        large = stability_analysis(gridded, opt.t0, opt.t_inf, single.e_j, radius=6)
+        assert large.cost_max >= small.cost_max - 1e-12
+        assert large.n_evaluated > small.n_evaluated
+
+    def test_boundary_points_skipped(self, setup):
+        gridded, single, _ = setup
+        # t_inf = 2*t0 exactly: half the box is infeasible but it still works
+        report = stability_analysis(gridded, 400.0, 800.0, single.e_j, radius=4)
+        assert report.n_evaluated < 9 * 9
+
+    def test_validation(self, setup):
+        gridded, single, opt = setup
+        with pytest.raises(ValueError):
+            stability_analysis(gridded, opt.t0, opt.t_inf, single.e_j, radius=-1)
+        with pytest.raises(ValueError):
+            stability_analysis(gridded, opt.t0, opt.t_inf, 0.0)
+        with pytest.raises(ValueError, match="infeasible"):
+            stability_analysis(gridded, 400.0, 900.0, single.e_j)
+
+
+class TestTransfer:
+    def test_own_parameters_are_best_or_close(self, setup):
+        gridded, single, opt = setup
+        models = {"w": gridded}
+        singles = {"w": single.e_j}
+        cells = transfer_matrix(
+            models,
+            {"w": (opt.t0, opt.t_inf), "other": (opt.t0 + 100.0, opt.t0 + 150.0)},
+            singles,
+        )
+        by_source = {c.source: c for c in cells}
+        assert by_source["w"].cost <= by_source["other"].cost + 1e-9
+
+    def test_matrix_covers_all_pairs(self, setup):
+        gridded, single, opt = setup
+        models = {"a": gridded, "b": gridded}
+        singles = {"a": single.e_j, "b": single.e_j}
+        params = {"a": (opt.t0, opt.t_inf), "b": (opt.t0, opt.t_inf)}
+        cells = transfer_matrix(models, params, singles)
+        assert len(cells) == 4
+        assert {(c.target, c.source) for c in cells} == {
+            ("a", "a"), ("a", "b"), ("b", "a"), ("b", "b"),
+        }
+
+    def test_infeasible_params_skipped(self, setup):
+        gridded, single, opt = setup
+        models = {"w": gridded}
+        singles = {"w": single.e_j}
+        cells = transfer_matrix(
+            models,
+            {"good": (opt.t0, opt.t_inf), "bad": (100.0, 900.0)},
+            singles,
+        )
+        assert {c.source for c in cells} == {"good"}
+
+    def test_all_infeasible_raises(self, setup):
+        gridded, single, _ = setup
+        with pytest.raises(ValueError, match="no feasible"):
+            transfer_matrix(
+                {"w": gridded}, {"bad": (100.0, 900.0)}, {"w": single.e_j}
+            )
+
+    def test_empty_params_raises(self, setup):
+        gridded, single, _ = setup
+        with pytest.raises(ValueError, match="at least one"):
+            transfer_matrix({"w": gridded}, {}, {"w": single.e_j})
+
+    def test_targets_subset(self, setup):
+        gridded, single, opt = setup
+        models = {"a": gridded, "b": gridded}
+        singles = {"a": single.e_j, "b": single.e_j}
+        cells = transfer_matrix(
+            models, {"a": (opt.t0, opt.t_inf)}, singles, targets=["b"]
+        )
+        assert {c.target for c in cells} == {"b"}

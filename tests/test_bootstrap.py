@@ -1,0 +1,65 @@
+"""Tests for bootstrap confidence intervals on trace-fitted optima."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bootstrap import bootstrap_single_optimum
+from repro.traces.paper import synthesize_week
+from repro.util.grids import TimeGrid
+
+
+@pytest.fixture(scope="module")
+def boot():
+    trace = synthesize_week("2007-51", seed=17, n_jobs=400)
+    return bootstrap_single_optimum(
+        trace, n_boot=60, grid=TimeGrid(t_max=10_000.0, dt=8.0), rng=5
+    )
+
+
+class TestBootstrap:
+    def test_point_estimate_inside_interval(self, boot):
+        lo, hi = boot.e_j_interval(0.95)
+        assert lo <= boot.e_j_point <= hi
+
+    def test_interval_widens_with_level(self, boot):
+        lo90, hi90 = boot.e_j_interval(0.90)
+        lo99, hi99 = boot.e_j_interval(0.99)
+        assert lo99 <= lo90 and hi99 >= hi90
+
+    def test_sampling_noise_visible_on_small_trace(self, boot):
+        # 400 probes of a heavy-tailed law: E_J must carry real uncertainty
+        assert boot.e_j_std > 1.0
+        lo, hi = boot.e_j_interval()
+        assert hi - lo > 5.0
+
+    def test_larger_trace_tightens_interval(self):
+        grid = TimeGrid(t_max=10_000.0, dt=8.0)
+        small = bootstrap_single_optimum(
+            synthesize_week("2007-51", seed=17, n_jobs=200),
+            n_boot=60, grid=grid, rng=5,
+        )
+        large = bootstrap_single_optimum(
+            synthesize_week("2007-51", seed=17, n_jobs=1600),
+            n_boot=60, grid=grid, rng=5,
+        )
+        assert large.e_j_std < small.e_j_std
+
+    def test_summary_mentions_both_quantities(self, boot):
+        text = boot.summary()
+        assert "E_J" in text and "t_inf" in text and "CI" in text
+
+    def test_deterministic_given_seed(self):
+        trace = synthesize_week("2007-52", seed=3, n_jobs=200)
+        grid = TimeGrid(t_max=10_000.0, dt=8.0)
+        a = bootstrap_single_optimum(trace, n_boot=20, grid=grid, rng=9)
+        b = bootstrap_single_optimum(trace, n_boot=20, grid=grid, rng=9)
+        np.testing.assert_array_equal(a.e_j_samples, b.e_j_samples)
+
+    def test_validation(self, boot):
+        trace = synthesize_week("2007-52", seed=3, n_jobs=100)
+        with pytest.raises(ValueError):
+            bootstrap_single_optimum(trace, n_boot=5)
+        with pytest.raises(ValueError):
+            boot.e_j_interval(0.0)
+        with pytest.raises(ValueError):
+            boot.e_j_interval(1.0)

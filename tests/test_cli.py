@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import list_experiments
+
+
+def run_cli(*argv) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = run_cli("list")
+        assert code == 0
+        for exp_id in list_experiments():
+            assert exp_id in text
+
+
+class TestRun:
+    def test_run_single_experiment(self):
+        code, text = run_cli("run", "fig1", "--dt", "4.0")
+        assert code == 0
+        assert "Figure 1" in text
+        assert "rho" in text
+
+    def test_run_writes_files(self, tmp_path):
+        code, text = run_cli(
+            "run", "table1", "--dt", "4.0", "--out", str(tmp_path)
+        )
+        assert code == 0
+        written = tmp_path / "table1.txt"
+        assert written.exists()
+        assert "Table 1" in written.read_text()
+        assert str(written) in text
+
+    def test_unknown_experiment_fails(self):
+        code, text = run_cli("run", "fig99")
+        assert code == 2
+        assert "unknown experiment" in text
+        assert "fig1" in text  # lists the available ids
+
+    def test_seed_changes_output(self):
+        _, a = run_cli("run", "fig1", "--dt", "4.0", "--seed", "1")
+        _, b = run_cli("run", "fig1", "--dt", "4.0", "--seed", "2")
+        assert a != b
+
+
+class TestDescribe:
+    def test_describe_week(self):
+        code, text = run_cli("describe", "2006-IX")
+        assert code == 0
+        assert "570" in text  # the paper's mean
+        assert "synthesized" in text
+
+    def test_describe_aggregate(self):
+        code, text = run_cli("describe", "2007/08")
+        assert code == 0
+        assert "union" in text
+
+    def test_describe_unknown(self):
+        code, text = run_cli("describe", "2020-01")
+        assert code == 2
+        assert "unknown trace set" in text
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "table1" in proc.stdout

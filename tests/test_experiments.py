@@ -1,0 +1,281 @@
+"""Tests for the experiment harness: every registered artifact runs and
+reproduces the paper's qualitative claims."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ExperimentResult,
+    get_context,
+    list_experiments,
+    run_experiment,
+)
+from repro.experiments.context import ReproContext
+from repro.traces.paper import PAPER_TABLE1
+
+
+@pytest.fixture(scope="module")
+def ctx() -> ReproContext:
+    # dt=2 halves the sweeps' cost; statistics are unaffected at test tolerance
+    return ReproContext(seed=2009, dt=2.0)
+
+
+class TestRegistry:
+    def test_all_artifacts_registered(self):
+        ids = list_experiments()
+        for required in (
+            "fig1", "fig2", "fig3", "fig5", "fig6", "fig8",
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "val-mc", "val-des", "abl-eq5", "abl-adopt",
+        ):
+            assert required in ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_get_context_cached(self):
+        assert get_context(seed=1, dt=4.0) is get_context(seed=1, dt=4.0)
+
+
+class TestContext:
+    def test_weeks_order_matches_table1(self, ctx):
+        assert ctx.weeks == list(PAPER_TABLE1)
+
+    def test_models_cached(self, ctx):
+        assert ctx.model("2006-IX") is ctx.model("2006-IX")
+        assert ctx.single_optimum("2006-IX") is ctx.single_optimum("2006-IX")
+
+
+class TestFig1(object):
+    def test_structure_and_claims(self, ctx):
+        res = run_experiment("fig1", ctx=ctx)
+        assert isinstance(res, ExperimentResult)
+        (bundle,) = res.figures
+        f_r = bundle.get("F_R")
+        f_t = bundle.get("F~_R = (1-rho) F_R")
+        # F~ = (1-rho) F pointwise; F~ saturates strictly below F
+        rho = ctx.model("2006-IX").rho
+        np.testing.assert_allclose(f_t.y, (1 - rho) * f_r.y, rtol=1e-9)
+        assert f_t.y.max() < f_r.y.max()
+
+
+class TestTable1:
+    def test_rows_and_qualitative_claims(self, ctx):
+        res = run_experiment("table1", ctx=ctx)
+        (table,) = res.tables
+        assert len(table.rows) == 13
+        # qualitative: E_J of the same order as mean<1e4, far below bounded
+        for row in table.as_dicts():
+            e_j = float(row["E_J"].rstrip("s"))
+            mean_less = float(row["mean <10^5"].rstrip("s"))
+            mean_with = float(row["mean with 10^5"].rstrip("s"))
+            assert e_j < mean_with
+            assert 0.4 * mean_less < e_j < 1.6 * mean_less
+
+    def test_sigma_reduction_majority(self, ctx):
+        res = run_experiment("table1", ctx=ctx)
+        (table,) = res.tables
+        reductions = [
+            row["d_sigma"].startswith("-") for row in table.as_dicts()
+        ]
+        assert sum(reductions) >= 10  # paper: 12 of 13 negative
+
+
+class TestFig2:
+    def test_profiles_ordered_by_b(self, ctx):
+        res = run_experiment("fig2", ctx=ctx, b_max=5)
+        (bundle,) = res.figures
+        assert bundle.labels == [f"b={b}" for b in range(1, 6)]
+        # larger b gives lower minimal E_J
+        minima = [s.y_min for s in bundle.series]
+        assert all(a > b for a, b in zip(minima, minima[1:]))
+
+    def test_b_validation(self, ctx):
+        with pytest.raises(ValueError):
+            run_experiment("fig2", ctx=ctx, b_max=0)
+
+
+class TestTable2:
+    def test_diminishing_returns_columns(self, ctx):
+        res = run_experiment("table2", ctx=ctx, b_max=8)
+        (table,) = res.tables
+        assert len(table.rows) == 8
+        marginal = [
+            float(r["dE_J/(b-1)"].rstrip("%")) for r in table.as_dicts()[1:]
+        ]
+        # improvements are negative and shrink in magnitude
+        assert all(m < 0 for m in marginal)
+        assert all(abs(a) > abs(b) for a, b in zip(marginal, marginal[1:]))
+
+
+class TestFig3:
+    def test_all_weeks_decreasing(self, ctx):
+        res = run_experiment("fig3", ctx=ctx, b_max=5)
+        ej_bundle, sj_bundle = res.figures
+        assert len(ej_bundle) == 13
+        for series in ej_bundle:
+            assert (np.diff(series.y) <= 1e-9).all()
+        for series in sj_bundle:
+            assert series.y[-1] <= series.y[0]
+
+
+class TestFig5:
+    def test_minimum_beats_single(self, ctx):
+        res = run_experiment("fig5", ctx=ctx, n_slices=4)
+        (bundle,) = res.figures
+        assert len(bundle) == 4
+        single = ctx.single_optimum("2006-IX")
+        best = min(s.y_min for s in bundle.series)
+        assert best < single.e_j
+
+
+class TestTable3:
+    def test_all_ratios_improve_on_single(self, ctx):
+        res = run_experiment("table3", ctx=ctx)
+        (table,) = res.tables
+        assert len(table.rows) == 10
+        for row in table.as_dicts():
+            assert row["delta vs single"].startswith("-")
+            n_par = float(row["N_//"])
+            assert 1.0 <= n_par <= 2.0
+
+
+class TestFig6:
+    def test_frontier_shapes(self, ctx):
+        res = run_experiment("fig6", ctx=ctx, b_max=4)
+        (bundle,) = res.figures
+        delayed = bundle.get("delayed submission strategy")
+        multi = bundle.get("multiple submissions strategy")
+        # delayed occupies N < 2; multiple starts at b=1 == single E_J
+        assert delayed.x.max() < 2.0
+        assert multi.x.min() == 1.0
+        single = ctx.single_optimum("2006-IX")
+        assert multi.y[0] == pytest.approx(single.e_j, rel=1e-6)
+        # multiple at b=2 beats every delayed point (paper Fig. 6)
+        assert multi.y[1] < delayed.y.min()
+
+
+class TestFig8:
+    def test_cost_structure(self, ctx):
+        res = run_experiment("fig8", ctx=ctx, b_max=4)
+        (bundle,) = res.figures
+        multi = bundle.get("multiple submissions strategy")
+        frontier = bundle.get("delayed (cost frontier)")
+        assert multi.y[0] == pytest.approx(1.0, rel=1e-6)  # b=1 == reference
+        assert (np.diff(multi.y) > 0).all()  # cost increases with b
+        assert frontier.y.min() < 1.0  # the win-win dip exists
+
+
+class TestTable4:
+    def test_blocks_and_headline(self, ctx):
+        res = run_experiment("table4", ctx=ctx)
+        delayed_table, multi_table = res.tables
+        assert len(delayed_table.rows) == 10
+        assert len(multi_table.rows) == 14
+        costs = [float(r["delta_cost"]) for r in multi_table.as_dicts()]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+        assert costs[-1] > 10  # b=100 is expensive (paper: 32)
+
+
+class TestTable5:
+    def test_structure_and_stability(self, ctx):
+        res = run_experiment("table5", ctx=ctx, radius=2)
+        (table,) = res.tables
+        assert len(table.rows) == 12
+        for row in table.as_dicts():
+            cost = float(row["opt cost"])
+            assert cost <= 1.01
+            if row["max cost (r=5)"]:
+                assert float(row["max cost (r=5)"]) >= cost - 1e-9
+
+
+class TestTable6:
+    def test_transfer_quality(self, ctx):
+        res = run_experiment("table6", ctx=ctx)
+        matrix, summary = res.tables
+        assert len(summary.rows) == 7
+        # own parameters are optimal within each target's column
+        by_target = {}
+        for row in matrix.as_dicts():
+            by_target.setdefault(row["target week"], []).append(row)
+        for target, rows in by_target.items():
+            own = [r for r in rows if r["params from"] == target]
+            assert own, target
+            own_cost = float(own[0]["delta_cost"])
+            best = min(float(r["delta_cost"]) for r in rows)
+            assert own_cost == pytest.approx(best, abs=0.02)
+
+
+class TestValidations:
+    def test_val_mc_zscores_small(self, ctx):
+        res = run_experiment("val-mc", ctx=ctx, n_tasks=5000)
+        (table,) = res.tables
+        zs = [float(r["z"]) for r in table.as_dicts()]
+        assert max(zs) < 4.5
+
+    def test_val_des_ratios_near_one(self):
+        res = run_experiment("val-des", n_tasks=60, probe_days=0.6)
+        (table,) = res.tables
+        ratios = [float(r["ratio"]) for r in table.as_dicts()]
+        assert all(0.5 < r < 2.0 for r in ratios)
+
+    def test_eq5_discrepancy_grows_with_ratio(self, ctx):
+        res = run_experiment("abl-eq5", ctx=ctx, t0_values=(300.0,),
+                             ratios=(1.0, 1.5, 2.0))
+        (table,) = res.tables
+        errs = [abs(float(r["rel err"].rstrip("%"))) for r in table.as_dicts()]
+        assert errs[0] < 0.1          # exact at ratio 1
+        assert errs[2] > errs[0]      # grows with overlap
+
+    def test_adoption_erosion(self):
+        res = run_experiment("abl-adopt", fleet_sizes=(20, 300))
+        (table,) = res.tables
+        rows = table.as_dicts()
+        burst_rows = [r for r in rows if "multiple" in r["strategy"]]
+        j_small = float(burst_rows[0]["mean J"].rstrip("s"))
+        j_large = float(burst_rows[-1]["mean J"].rstrip("s"))
+        assert j_large > j_small  # load feedback erodes the gain
+
+
+class TestAblations:
+    def test_rho_sensitivity_monotone(self, ctx):
+        res = run_experiment("abl-rho", ctx=ctx, rho_values=(0.0, 0.1, 0.3))
+        (table,) = res.tables
+        singles = [float(r["single E_J"].rstrip("s")) for r in table.as_dicts()]
+        bursts = [float(r["burst3 E_J"].rstrip("s")) for r in table.as_dicts()]
+        assert singles == sorted(singles)
+        assert bursts == sorted(bursts)
+
+    def test_rho_zero_matches_faultless_body(self, ctx):
+        res = run_experiment("abl-rho", ctx=ctx, rho_values=(0.0,))
+        (table,) = res.tables
+        e_j = float(table.rows[0][2].rstrip("s"))
+        assert 200 < e_j < 1500  # sane, finite
+
+    def test_family_sensitivity_ranks_tail_aware_families(self, ctx):
+        res = run_experiment("abl-family", ctx=ctx)
+        (table,) = res.tables
+        gaps = {
+            r["model"]: float(r["E_J vs ECDF"])
+            for r in table.as_dicts()
+            if r["E_J vs ECDF"] != ""
+        }
+        assert gaps["loglogistic"] < gaps["gamma"]
+        assert min(gaps.values()) < 0.1  # someone tracks the ECDF closely
+
+    def test_resolution_convergence(self, ctx):
+        res = run_experiment("abl-grid", ctx=ctx, dt_values=(8.0, 2.0, 1.0))
+        (table,) = res.tables
+        e_j = [float(r["single E_J"].rstrip("s")) for r in table.as_dicts()]
+        ref = e_j[-1]
+        assert all(abs(e - ref) / ref < 0.02 for e in e_j)
+
+
+class TestRender:
+    def test_render_includes_tables_and_notes(self, ctx):
+        res = run_experiment("table3", ctx=ctx)
+        text = res.render()
+        assert "table3" in text
+        assert "notes:" in text
+        assert "Table 3" in text

@@ -1,0 +1,183 @@
+"""Tests for grid telemetry, outages, and their interplay."""
+
+import numpy as np
+import pytest
+
+from repro.gridsim import FaultModel, GridConfig, GridSimulator, SiteConfig
+from repro.gridsim.events import Simulator
+from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.metrics import GridMonitor
+from repro.gridsim.outages import OutageProcess
+from repro.gridsim.site import ComputingElement
+
+
+def tiny_config(**kw) -> GridConfig:
+    defaults = dict(
+        sites=(
+            SiteConfig("a", 8, utilization=0.7, runtime_median=600.0),
+            SiteConfig("b", 8, utilization=0.7, runtime_median=600.0),
+        ),
+        matchmaking_median=20.0,
+        faults=FaultModel(),
+    )
+    defaults.update(kw)
+    return GridConfig(**defaults)
+
+
+class TestGridMonitor:
+    def test_samples_at_cadence(self):
+        grid = GridSimulator(tiny_config(), seed=1)
+        mon = GridMonitor(grid, period=600.0)
+        mon.start()
+        grid.run_until(6000.0)
+        # t=0 sample plus one per period
+        assert len(mon) == 11
+        np.testing.assert_allclose(np.diff(mon.times()), 600.0)
+
+    def test_series_and_bundle(self):
+        grid = GridSimulator(tiny_config(), seed=2)
+        mon = GridMonitor(grid, period=300.0)
+        mon.start()
+        grid.run_until(3000.0)
+        bundle = mon.bundle()
+        assert bundle.get("queued jobs").x.size == len(mon)
+        assert (bundle.get("utilization").y <= 1.0).all()
+
+    def test_stop(self):
+        grid = GridSimulator(tiny_config(), seed=3)
+        mon = GridMonitor(grid, period=100.0)
+        mon.start()
+        grid.run_until(500.0)
+        mon.stop()
+        n = len(mon)
+        grid.run_until(2000.0)
+        assert len(mon) == n
+
+    def test_double_start_rejected(self):
+        grid = GridSimulator(tiny_config(), seed=4)
+        mon = GridMonitor(grid, period=100.0)
+        mon.start()
+        with pytest.raises(RuntimeError, match="already"):
+            mon.start()
+
+    def test_max_samples_cap(self):
+        grid = GridSimulator(tiny_config(), seed=5)
+        mon = GridMonitor(grid, period=10.0, max_samples=5)
+        mon.start()
+        grid.run_until(1000.0)
+        assert len(mon) == 5
+
+    def test_aggregates(self):
+        grid = GridSimulator(tiny_config(), seed=6)
+        mon = GridMonitor(grid, period=500.0)
+        mon.start()
+        grid.run_until(5000.0)
+        assert mon.peak_queue() >= 0
+        assert 0.0 <= mon.mean_utilization() <= 1.0
+
+    def test_aggregates_require_samples(self):
+        grid = GridSimulator(tiny_config(), seed=7)
+        mon = GridMonitor(grid, period=100.0)
+        with pytest.raises(ValueError):
+            mon.peak_queue()
+        with pytest.raises(ValueError):
+            mon.mean_utilization()
+
+    def test_validation(self):
+        grid = GridSimulator(tiny_config(), seed=8)
+        with pytest.raises(ValueError):
+            GridMonitor(grid, period=0.0)
+        with pytest.raises(ValueError):
+            GridMonitor(grid, period=10.0, max_samples=0)
+
+
+class TestOutageProcess:
+    def make_site(self):
+        sim = Simulator()
+        site = ComputingElement("ce", n_cores=4, sim=sim)
+        return sim, site
+
+    def test_outage_stalls_dispatch(self):
+        sim, site = self.make_site()
+        rng = np.random.default_rng(0)
+        proc = OutageProcess(site, sim, rng, mean_uptime=100.0,
+                             mean_downtime=1e9, kill_running=0.0)
+        proc.start()
+        sim.run_until(2000.0)  # well past the expected first outage
+        assert proc.is_down
+        job = Job(runtime=10.0)
+        site.enqueue(job)
+        sim.run_until(3000.0)
+        assert job.state is JobState.QUEUED  # gate closed: never started
+
+    def test_recovery_drains_queue(self):
+        sim, site = self.make_site()
+        rng = np.random.default_rng(1)
+        proc = OutageProcess(site, sim, rng, mean_uptime=50.0,
+                             mean_downtime=200.0, kill_running=0.0)
+        proc.start()
+        sim.run_until(5000.0)
+        job = Job(runtime=1.0)
+        site.enqueue(job)
+        sim.run_until(50_000.0)
+        assert job.state is JobState.COMPLETED
+        assert proc.outages_started >= 1
+
+    def test_kill_running_jobs(self):
+        sim, site = self.make_site()
+        jobs = [Job(runtime=1e8) for _ in range(4)]
+        for j in jobs:
+            site.enqueue(j)
+        rng = np.random.default_rng(2)
+        proc = OutageProcess(site, sim, rng, mean_uptime=10.0,
+                             mean_downtime=1e9, kill_running=1.0)
+        proc.start()
+        sim.run_until(10_000.0)
+        assert proc.is_down
+        assert all(j.state is JobState.CANCELLED for j in jobs)
+        assert site.busy_cores == 0  # cores idle but gated
+
+    def test_kill_none(self):
+        sim, site = self.make_site()
+        jobs = [Job(runtime=1e8) for _ in range(2)]
+        for j in jobs:
+            site.enqueue(j)
+        rng = np.random.default_rng(3)
+        proc = OutageProcess(site, sim, rng, mean_uptime=10.0,
+                             mean_downtime=1e9, kill_running=0.0)
+        proc.start()
+        sim.run_until(10_000.0)
+        assert all(j.state is JobState.RUNNING for j in jobs)
+
+    def test_validation(self):
+        sim, site = self.make_site()
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            OutageProcess(site, sim, rng, mean_uptime=0.0)
+        with pytest.raises(ValueError):
+            OutageProcess(site, sim, rng, mean_downtime=-1.0)
+        with pytest.raises(ValueError):
+            OutageProcess(site, sim, rng, kill_running=1.5)
+
+    def test_outages_create_latency_outliers(self):
+        # probes submitted into a grid with outage-prone sites should see
+        # extra long waits compared to an outage-free clone
+        from repro.gridsim import ProbeExperiment
+
+        def campaign(with_outages: bool) -> float:
+            grid = GridSimulator(tiny_config(), seed=9)
+            if with_outages:
+                rng = np.random.default_rng(7)
+                for site in grid.sites:
+                    OutageProcess(
+                        site, grid.sim, rng,
+                        mean_uptime=20_000.0, mean_downtime=15_000.0,
+                        kill_running=0.5,
+                    ).start()
+            grid.warm_up(3600.0)
+            trace = ProbeExperiment(grid, n_slots=6, timeout=5000.0).run(
+                100_000.0
+            )
+            return trace.bounded_mean_latency()
+
+        assert campaign(True) > campaign(False)

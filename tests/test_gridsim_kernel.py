@@ -1,0 +1,303 @@
+"""Tests for the DES kernel, jobs, sites, WMS and fault model."""
+
+import numpy as np
+import pytest
+
+from repro.gridsim.events import Simulator
+from repro.gridsim.faults import FaultModel
+from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.site import ComputingElement
+from repro.gridsim.wms import WorkloadManager
+
+
+class TestSimulator:
+    def test_time_advances_with_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(sim.now))
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run_until(20.0)
+        assert fired == [5.0, 10.0]
+        assert sim.now == 20.0
+
+    def test_fifo_among_simultaneous_events(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.run_until(2.0)
+        assert order == ["a", "b"]
+
+    def test_cancelled_events_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append("x"))
+        ev.cancel()
+        sim.run_until(2.0)
+        assert fired == []
+        assert sim.events_processed == 0
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if sim.now < 3.0:
+                sim.schedule(1.0, chain)
+
+        sim.schedule(1.0, chain)
+        sim.run_until(10.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_respects_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("x"))
+        sim.run_until(4.999)
+        assert fired == []
+        sim.run_until(5.0)
+        assert fired == ["x"]
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_at(5.0, lambda: None)
+
+    def test_cannot_run_backwards(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError):
+            sim.run_until(5.0)
+
+    def test_run_until_idle_processes_everything(self):
+        sim = Simulator()
+        fired = []
+        for d in (3.0, 1.0, 2.0):
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run_until_idle()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_idle_guards_runaway(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(1.0, forever)
+
+        sim.schedule(1.0, forever)
+        with pytest.raises(RuntimeError, match="runaway"):
+            sim.run_until_idle(max_events=100)
+
+
+class TestJob:
+    def test_latency_inf_until_started(self):
+        job = Job()
+        assert job.latency == float("inf")
+
+    def test_latency_after_start(self):
+        job = Job()
+        job.submit_time = 10.0
+        job.start_time = 250.0
+        job.state = JobState.RUNNING
+        assert job.latency == 240.0
+
+    def test_outlier_states(self):
+        for state in (JobState.LOST, JobState.STUCK, JobState.CANCELLED):
+            job = Job()
+            job.state = state
+            assert job.is_outlier
+        job = Job()
+        job.state = JobState.COMPLETED
+        assert not job.is_outlier
+
+    def test_ids_unique(self):
+        assert Job().job_id != Job().job_id
+
+
+class TestComputingElement:
+    def test_jobs_run_when_cores_free(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=2, sim=sim)
+        jobs = [Job(runtime=10.0) for _ in range(3)]
+        for j in jobs:
+            ce.enqueue(j)
+        assert jobs[0].state is JobState.RUNNING
+        assert jobs[1].state is JobState.RUNNING
+        assert jobs[2].state is JobState.QUEUED
+        assert ce.queue_length == 1
+        assert ce.busy_cores == 2
+
+    def test_fifo_order(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=1, sim=sim)
+        a, b, c = Job(runtime=5.0), Job(runtime=5.0), Job(runtime=5.0)
+        for j in (a, b, c):
+            ce.enqueue(j)
+        sim.run_until(6.0)
+        assert a.state is JobState.COMPLETED
+        assert b.state is JobState.RUNNING
+        assert c.state is JobState.QUEUED
+
+    def test_completion_frees_core(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=1, sim=sim)
+        a, b = Job(runtime=10.0), Job(runtime=10.0)
+        ce.enqueue(a)
+        ce.enqueue(b)
+        sim.run_until(25.0)
+        assert a.state is JobState.COMPLETED
+        assert b.state is JobState.COMPLETED
+        assert b.start_time == 10.0
+        assert ce.free_cores == 1
+        assert ce.jobs_completed == 2
+
+    def test_cancel_queued(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=1, sim=sim)
+        a, b = Job(runtime=10.0), Job(runtime=10.0)
+        ce.enqueue(a)
+        ce.enqueue(b)
+        assert ce.cancel(b)
+        assert b.state is JobState.CANCELLED
+        assert ce.queue_length == 0
+
+    def test_cancel_running_releases_core_and_starts_next(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=1, sim=sim)
+        a, b = Job(runtime=1000.0), Job(runtime=10.0)
+        ce.enqueue(a)
+        ce.enqueue(b)
+        assert ce.cancel(a)
+        assert a.state is JobState.CANCELLED
+        assert b.state is JobState.RUNNING
+        sim.run_until(2000.0)
+        assert b.state is JobState.COMPLETED
+        # a's completion event must not fire
+        assert a.state is JobState.CANCELLED
+
+    def test_cancel_completed_noop(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=1, sim=sim)
+        a = Job(runtime=1.0)
+        ce.enqueue(a)
+        sim.run_until(2.0)
+        assert not ce.cancel(a)
+        assert a.state is JobState.COMPLETED
+
+    def test_on_start_callback(self):
+        sim = Simulator()
+        started = []
+        ce = ComputingElement("ce", n_cores=1, sim=sim, on_start=started.append)
+        job = Job(runtime=1.0)
+        ce.enqueue(job)
+        assert started == [job]
+
+    def test_estimated_wait(self):
+        sim = Simulator()
+        ce = ComputingElement("ce", n_cores=4, sim=sim)
+        for _ in range(8):
+            ce.enqueue(Job(runtime=100.0))
+        # 4 running, 4 queued: wait ≈ 4 * guess / 4
+        assert ce.estimated_wait(100.0) == pytest.approx(100.0)
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ComputingElement("ce", n_cores=0, sim=sim)
+        ce = ComputingElement("ce", n_cores=1, sim=sim)
+        job = Job()
+        job.state = JobState.RUNNING
+        with pytest.raises(ValueError, match="state"):
+            ce.enqueue(job)
+
+
+class TestWorkloadManager:
+    def make(self, n_sites=3, **kw):
+        sim = Simulator()
+        sites = [ComputingElement(f"ce{i}", 4, sim) for i in range(n_sites)]
+        wms = WorkloadManager(sim, sites, np.random.default_rng(0), **kw)
+        return sim, sites, wms
+
+    def test_submit_dispatches_after_delay(self):
+        sim, sites, wms = self.make()
+        job = Job(runtime=1.0)
+        wms.submit(job)
+        assert job.state is JobState.MATCHING
+        sim.run_until(10_000.0)
+        assert job.state is JobState.COMPLETED
+        assert job.site.startswith("ce")
+        assert wms.dispatch_count == 1
+
+    def test_matchmaking_delay_positive(self):
+        sim, sites, wms = self.make()
+        job = Job(runtime=1.0)
+        wms.submit(job)
+        sim.run_until_idle()
+        assert job.start_time > 0.0
+
+    def test_prefers_empty_site_once_info_refreshes(self):
+        sim, sites, wms = self.make(ranking_noise=0.0, info_refresh=300.0)
+        # clog site 0 and 1
+        for _ in range(50):
+            sites[0].enqueue(Job(runtime=1e6))
+            sites[1].enqueue(Job(runtime=1e6))
+        sim.run_until(301.0)  # let the information system refresh
+        assert wms.select_site() is sites[2]
+
+    def test_stale_snapshot(self):
+        sim, sites, wms = self.make(ranking_noise=0.0, info_refresh=300.0)
+        wms.current_snapshot()
+        for _ in range(50):
+            sites[2].enqueue(Job(runtime=1e6))
+        # snapshot not refreshed yet: site 2 still looks empty
+        assert wms.select_site() is sites[0] or np.all(wms.current_snapshot() == 0)
+        sim.run_until(301.0)
+        snap = wms.current_snapshot()
+        assert snap[2] > 0.0
+
+    def test_cancel_matching(self):
+        sim, sites, wms = self.make()
+        job = Job(runtime=1.0)
+        wms.submit(job)
+        assert wms.cancel_matching(job)
+        sim.run_until_idle()
+        assert job.state is JobState.CANCELLED
+
+    def test_submit_state_validation(self):
+        _sim, _sites, wms = self.make()
+        job = Job()
+        job.state = JobState.QUEUED
+        with pytest.raises(ValueError, match="state"):
+            wms.submit(job)
+
+    def test_needs_sites(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="at least one"):
+            WorkloadManager(sim, [], np.random.default_rng(0))
+
+
+class TestFaultModel:
+    def test_rho_composition(self):
+        f = FaultModel(p_lost=0.1, p_stuck=0.2)
+        assert f.rho == pytest.approx(0.1 + 0.9 * 0.2)
+
+    def test_zero_faults(self):
+        f = FaultModel()
+        assert f.rho == 0.0
+        rng = np.random.default_rng(0)
+        assert not any(f.draw_lost(rng) for _ in range(100))
+
+    def test_draw_rates(self):
+        f = FaultModel(p_lost=0.3, p_stuck=0.0)
+        rng = np.random.default_rng(1)
+        hits = sum(f.draw_lost(rng) for _ in range(20_000))
+        assert hits / 20_000 == pytest.approx(0.3, abs=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultModel(p_lost=1.5)
+        with pytest.raises(ValueError, match="< 1"):
+            FaultModel(p_lost=0.6, p_stuck=0.5)

@@ -1,0 +1,148 @@
+"""End-to-end integration tests across the whole stack."""
+
+import io
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.burst_selection import smallest_b_for_expectation
+from repro.gridsim import (
+    GridMonitor,
+    GridSimulator,
+    OutageProcess,
+    ProbeExperiment,
+    default_grid_config,
+)
+from repro.traces.gwf import gwf_roundtrip_string, read_gwf
+from repro.util.grids import TimeGrid
+
+
+class TestArchiveToPlan:
+    """GWF file -> model -> planner recommendation, the user's full path."""
+
+    def test_gwf_to_recommendation(self):
+        trace = repro.synthesize_week("2007-52", seed=3)
+        gwf_text = gwf_roundtrip_string(trace)
+        restored = read_gwf(io.StringIO(gwf_text), name="from-archive")
+        plan = repro.plan_submissions(
+            restored, max_parallel=2.5, t0_window=(100.0, 1500.0)
+        )
+        assert plan.best.e_j > 0
+        assert plan.best.n_parallel <= 2.5
+
+    def test_top_level_api_surface(self):
+        # everything advertised in __all__ resolves
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestTraceStatisticsConsistency:
+    """The three statistical layers must agree: trace, model, strategies."""
+
+    def test_table1_statistics_flow_through(self):
+        trace = repro.synthesize_week("2006-IX", seed=21)
+        model = trace.to_latency_model()
+        # model rho equals trace ratio
+        assert model.rho == pytest.approx(trace.outlier_ratio)
+        # trace mean equals model distribution mean
+        assert model.distribution.mean() == pytest.approx(
+            trace.mean_latency(), rel=1e-9
+        )
+        gm = model.on_grid(TimeGrid(t_max=10_000.0, dt=2.0))
+        # F saturates at 1 - rho on the grid
+        assert gm.F[-1] == pytest.approx(1.0 - model.rho, abs=0.01)
+
+    def test_report_and_plan_agree_on_heavy_tail(self):
+        trace = repro.synthesize_week("2006-IX", seed=21)
+        report = repro.characterize(trace, fit_families=("lognormal",))
+        assert report.is_heavy_tailed
+        gm = trace.to_latency_model().on_grid(TimeGrid(t_max=10_000.0, dt=2.0))
+        # heavy tail => resubmission can cut E_J well below infinite patience
+        plan = repro.plan_submissions(
+            gm, max_parallel=5.0, t0_window=(100.0, 1500.0)
+        )
+        bursts = [c for c in plan.candidates if "multiple" in c.name]
+        singles = [c for c in plan.candidates if c.name == "single"]
+        assert bursts and singles
+        assert min(b.e_j for b in bursts) < singles[0].e_j
+
+
+class TestSimulatedGridPipeline:
+    """DES grid -> probes -> model -> burst sizing -> verification."""
+
+    @pytest.fixture(scope="class")
+    def probe_model(self):
+        grid = GridSimulator(default_grid_config(n_sites=6, seed=2), seed=31)
+        grid.warm_up(6 * 3600.0)
+        trace = ProbeExperiment(grid, n_slots=10, timeout=5000.0).run(86_400.0)
+        return trace, trace.to_latency_model().on_grid(
+            TimeGrid(t_max=5000.0, dt=1.0)
+        )
+
+    def test_probe_trace_is_characterizable(self, probe_model):
+        trace, _ = probe_model
+        report = repro.characterize(trace, fit_families=("lognormal", "gamma"))
+        assert report.n_jobs == len(trace)
+        assert report.percentiles[95.0] > report.percentiles[50.0]
+
+    def test_burst_sizing_on_simulated_grid(self, probe_model):
+        _, gm = probe_model
+        from repro.core.optimize import optimize_single
+
+        single = optimize_single(gm)
+        b, e_j = smallest_b_for_expectation(gm, 0.7 * single.e_j, b_max=16)
+        assert e_j <= 0.7 * single.e_j
+        assert 2 <= b <= 16
+
+    def test_monitored_campaign_with_outages(self):
+        grid = GridSimulator(default_grid_config(n_sites=4, seed=5), seed=41)
+        rng = np.random.default_rng(6)
+        for site in grid.sites:
+            OutageProcess(
+                site, grid.sim, rng,
+                mean_uptime=40_000.0, mean_downtime=8_000.0,
+            ).start()
+        monitor = GridMonitor(grid, period=1800.0)
+        monitor.start()
+        grid.warm_up(3600.0)
+        trace = ProbeExperiment(grid, n_slots=8, timeout=5000.0).run(86_400.0)
+        assert len(trace) > 20
+        assert len(monitor) > 10
+        assert monitor.peak_queue() >= 0
+        # the trace still feeds the analytic pipeline
+        gm = trace.to_latency_model().on_grid(TimeGrid(t_max=5000.0, dt=2.0))
+        plan = repro.plan_submissions(
+            gm, max_parallel=3.0, t0_window=(60.0, 1500.0)
+        )
+        assert plan.candidates
+
+
+class TestCrossValidationTriangle:
+    """Closed forms, Monte-Carlo replay and DES must tell one story."""
+
+    def test_three_way_agreement_on_ordering(self):
+        # on any model: E_J(single) > E_J(delayed) > E_J(burst b=3)
+        trace = repro.synthesize_week("2007-53", seed=8)
+        gm = trace.to_latency_model().on_grid(TimeGrid(t_max=10_000.0, dt=2.0))
+        from repro.core.optimize import (
+            optimize_delayed,
+            optimize_multiple,
+            optimize_single,
+        )
+        from repro.montecarlo import (
+            simulate_delayed,
+            simulate_multiple,
+            simulate_single,
+        )
+
+        s = optimize_single(gm)
+        d = optimize_delayed(gm, t0_min=100.0, t0_max=1500.0)
+        m = optimize_multiple(gm, 3)
+        assert m.e_j < d.e_j < s.e_j
+
+        lm = gm.model
+        mc_s = simulate_single(lm, s.t_inf, 8000, rng=1).mean_j
+        mc_d = simulate_delayed(lm, d.t0, d.t_inf, 8000, rng=2).mean_j
+        mc_m = simulate_multiple(lm, 3, m.t_inf, 8000, rng=3).mean_j
+        assert mc_m < mc_d < mc_s

@@ -1,0 +1,291 @@
+"""Tests for the three strategy models (Eqs. 1–5, §6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import (
+    DelayedResubmission,
+    MultipleSubmission,
+    SingleResubmission,
+    delayed_expectation_for_t0,
+    delayed_moments,
+    delayed_survival,
+    multiple_expectation_sweep,
+    multiple_moments,
+    multiple_std_sweep,
+    n_parallel_for_latency,
+    single_expectation_sweep,
+    single_moments,
+    single_std_sweep,
+)
+from repro.core.strategies.delayed import mean_parallel_exact
+
+
+class TestSingleResubmission:
+    def test_expectation_without_timeout_pressure(self, gridded_faultless):
+        # with a huge timeout and no faults, E_J -> E[R]
+        mom = single_moments(gridded_faultless, 8000.0)
+        true_mean = gridded_faultless.model.distribution.mean()
+        assert mom.expectation == pytest.approx(true_mean, rel=0.02)
+
+    def test_expectation_sweep_matches_pointwise(self, gridded):
+        sweep = single_expectation_sweep(gridded)
+        for t in (300.0, 600.0, 1200.0):
+            k = gridded.index_of(t)
+            assert sweep[k] == pytest.approx(
+                single_moments(gridded, t).expectation, rel=1e-9
+            )
+
+    def test_std_sweep_matches_pointwise(self, gridded):
+        sweep = single_std_sweep(gridded)
+        for t in (300.0, 600.0, 1200.0):
+            k = gridded.index_of(t)
+            assert sweep[k] == pytest.approx(single_moments(gridded, t).std, rel=1e-9)
+
+    def test_infinite_below_support(self, gridded):
+        # the model has a 100 s floor: timeouts below it never succeed
+        sweep = single_expectation_sweep(gridded)
+        assert np.isinf(sweep[gridded.index_of(50.0)])
+        assert np.isinf(sweep[0])
+
+    def test_small_timeout_is_penalised(self, gridded):
+        sweep = single_expectation_sweep(gridded)
+        e_at_110 = sweep[gridded.index_of(110.0)]
+        e_at_600 = sweep[gridded.index_of(600.0)]
+        assert e_at_110 > e_at_600
+
+    def test_outliers_make_infinite_patience_costly(self, gridded):
+        # with rho > 0, E_J at the largest timeout exceeds the minimum:
+        # waiting forever on a faulted job is never optimal
+        sweep = single_expectation_sweep(gridded)
+        finite = sweep[np.isfinite(sweep)]
+        assert sweep[-1] > finite.min()
+
+    def test_strategy_object_delegates(self, gridded):
+        s = SingleResubmission(t_inf=600.0)
+        assert s.expectation(gridded) == pytest.approx(
+            single_moments(gridded, 600.0).expectation
+        )
+        assert s.mean_parallel_jobs(gridded) == 1.0
+        assert "600" in s.describe()
+
+    def test_strategy_validation(self):
+        with pytest.raises(ValueError):
+            SingleResubmission(t_inf=0.0)
+
+    def test_moments_at_zero_mass_timeout(self, gridded):
+        mom = single_moments(gridded, 50.0)
+        assert np.isinf(mom.expectation)
+        assert np.isinf(mom.std)
+
+
+class TestMultipleSubmission:
+    def test_b1_equals_single(self, gridded):
+        e1 = multiple_expectation_sweep(gridded, 1)
+        es = single_expectation_sweep(gridded)
+        np.testing.assert_allclose(e1[1:], es[1:], rtol=1e-9)
+        s1 = multiple_std_sweep(gridded, 1)
+        ss = single_std_sweep(gridded)
+        mask = np.isfinite(ss)
+        np.testing.assert_allclose(s1[mask], ss[mask], rtol=1e-9)
+
+    def test_expectation_decreases_with_b(self, gridded):
+        t = 800.0
+        values = [multiple_moments(gridded, b, t).expectation for b in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_std_decreases_with_b(self, gridded):
+        t = 800.0
+        values = [multiple_moments(gridded, b, t).std for b in (1, 2, 4, 8)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_sweep_matches_pointwise(self, gridded):
+        for b in (2, 5):
+            sweep = multiple_expectation_sweep(gridded, b)
+            k = gridded.index_of(700.0)
+            assert sweep[k] == pytest.approx(
+                multiple_moments(gridded, b, 700.0).expectation, rel=1e-9
+            )
+
+    def test_invalid_b(self, gridded):
+        with pytest.raises(ValueError):
+            multiple_expectation_sweep(gridded, 0)
+        with pytest.raises(ValueError):
+            MultipleSubmission(b=0, t_inf=100.0)
+        with pytest.raises(ValueError):
+            MultipleSubmission(b=1.5, t_inf=100.0)
+
+    def test_n_parallel_is_b(self, gridded):
+        assert MultipleSubmission(b=7, t_inf=500.0).mean_parallel_jobs(gridded) == 7.0
+
+    def test_batch_beats_single_at_same_timeout(self, gridded):
+        t = 600.0
+        assert (
+            multiple_moments(gridded, 3, t).expectation
+            < single_moments(gridded, t).expectation
+        )
+
+    def test_describe(self):
+        assert "b=4" in MultipleSubmission(b=4, t_inf=880.0).describe()
+
+
+class TestDelayedResubmission:
+    def test_degenerates_to_single_at_ratio_one(self, gridded):
+        # t_inf = t0: the copy is submitted exactly when the original is
+        # cancelled -> single resubmission with timeout t0
+        t0 = 500.0
+        mom_d = delayed_moments(gridded, t0, t0)
+        mom_s = single_moments(gridded, t0)
+        assert mom_d.expectation == pytest.approx(mom_s.expectation, rel=1e-9)
+        assert mom_d.std == pytest.approx(mom_s.std, rel=1e-6)
+
+    def test_longer_t_inf_helps(self, gridded):
+        # for fixed t0, raising t_inf within (t0, 2 t0] reduces E_J:
+        # the first job gets more chance while the copy is already queued
+        t0 = 400.0
+        e1 = delayed_moments(gridded, t0, 500.0).expectation
+        e2 = delayed_moments(gridded, t0, 700.0).expectation
+        assert e2 < e1
+
+    def test_sweep_matches_pointwise(self, gridded):
+        k0 = gridded.index_of(400.0)
+        sweep = delayed_expectation_for_t0(gridded, k0)
+        for t_inf in (500.0, 600.0, 800.0):
+            k = gridded.index_of(t_inf)
+            assert sweep[k] == pytest.approx(
+                delayed_moments(gridded, 400.0, t_inf).expectation, rel=1e-9
+            )
+
+    def test_sweep_infeasible_region_is_inf(self, gridded):
+        k0 = gridded.index_of(400.0)
+        sweep = delayed_expectation_for_t0(gridded, k0)
+        assert np.isinf(sweep[k0 - 1])  # t_inf < t0
+        assert np.isinf(sweep[2 * k0 + 1])  # t_inf > 2 t0
+
+    def test_constraint_validation(self, gridded):
+        with pytest.raises(ValueError, match="2"):
+            delayed_moments(gridded, 400.0, 900.0)
+        with pytest.raises(ValueError, match="2"):
+            delayed_moments(gridded, 400.0, 300.0)
+        with pytest.raises(ValueError):
+            DelayedResubmission(t0=400.0, t_inf=900.0)
+        with pytest.raises(ValueError):
+            DelayedResubmission(t0=-1.0, t_inf=1.0)
+
+    def test_survival_starts_at_one_decreases(self, gridded):
+        s = delayed_survival(gridded, 400.0, 600.0)
+        assert s[0] == pytest.approx(1.0)
+        assert (np.diff(s) <= 1e-12).all()
+        assert s[-1] < 1e-6
+
+    def test_survival_integrates_to_expectation(self, gridded):
+        # E[J] = ∫ P(J>t) dt — ties the closed form to the piecewise survival
+        t0, t_inf = 400.0, 600.0
+        s = delayed_survival(gridded, t0, t_inf)
+        e_direct = gridded.grid.integrate(s)
+        e_closed = delayed_moments(gridded, t0, t_inf).expectation
+        assert e_closed == pytest.approx(e_direct, rel=1e-6)
+
+    def test_second_moment_from_survival(self, gridded):
+        # E[J^2] = ∫ 2 t P(J>t) dt
+        t0, t_inf = 400.0, 600.0
+        s = delayed_survival(gridded, t0, t_inf)
+        e_j2_direct = gridded.grid.integrate(2.0 * gridded.times * s)
+        mom = delayed_moments(gridded, t0, t_inf)
+        e_j2_closed = mom.std**2 + mom.expectation**2
+        assert e_j2_closed == pytest.approx(e_j2_direct, rel=1e-6)
+
+    def test_expectation_between_single_and_multiple(self, gridded):
+        # §6: delayed beats single resubmission but not a 2-burst
+        from repro.core.optimize import (
+            optimize_delayed,
+            optimize_multiple,
+            optimize_single,
+        )
+
+        s = optimize_single(gridded)
+        d = optimize_delayed(gridded, t0_min=150.0, t0_max=1500.0)
+        m2 = optimize_multiple(gridded, 2)
+        assert d.e_j < s.e_j
+        assert m2.e_j < d.e_j
+
+    def test_describe_timeline(self):
+        d = DelayedResubmission(t0=300.0, t_inf=450.0)
+        text = d.describe_timeline()
+        assert "job 1" in text and "job 3" in text
+        assert "300" in text
+
+    def test_strategy_object_moments(self, gridded):
+        d = DelayedResubmission(t0=400.0, t_inf=600.0)
+        assert d.moments(gridded).expectation == pytest.approx(
+            delayed_moments(gridded, 400.0, 600.0).expectation
+        )
+
+
+class TestNParallel:
+    def test_below_t0_is_one(self):
+        assert n_parallel_for_latency(100.0, 300.0, 450.0) == 1.0
+        assert n_parallel_for_latency(0.0, 300.0, 450.0) == 1.0
+
+    def test_paper_table3_values(self):
+        # §6.2 / Table 3 entries recomputed exactly:
+        # ratio 1.3: t0=406, EJ=438 -> N = 2 - 406/438
+        assert n_parallel_for_latency(438.0, 406.0, 528.0) == pytest.approx(
+            2 - 406 / 438, abs=5e-3
+        )
+        # ratio 1.4: t0=354, EJ=432
+        assert n_parallel_for_latency(432.0, 354.0, 496.0) == pytest.approx(
+            2 - 354 / 432, abs=5e-3
+        )
+        # ratio 1.6: t0=272, t_inf=435, EJ=444 (l >= t_inf branch)
+        expected = (272 + 2 * (435 - 272) + (444 - 435)) / 444
+        assert n_parallel_for_latency(444.0, 272.0, 435.0) == pytest.approx(
+            expected, abs=5e-3
+        )
+
+    def test_n1_branch_below_t_inf(self):
+        # l in [t0, t_inf): N = 2 - t0/l
+        assert n_parallel_for_latency(350.0, 300.0, 450.0) == pytest.approx(
+            2 - 300 / 350
+        )
+
+    def test_asymptote_is_ratio(self):
+        # lim N_// = t_inf / t0 (paper §6.1)
+        val = n_parallel_for_latency(1e7, 300.0, 450.0)
+        assert val == pytest.approx(450.0 / 300.0, rel=1e-3)
+
+    def test_bound_paper(self):
+        # N_// in [1, 2 - 1/(n+1)] (paper §6.1)
+        t0, t_inf = 300.0, 560.0
+        for l in np.linspace(1.0, 5000.0, 200):
+            n = int(l // t0)
+            val = n_parallel_for_latency(float(l), t0, t_inf)
+            assert 1.0 - 1e-9 <= val <= 2.0 - 1.0 / (n + 1) + 1e-9
+
+    def test_vectorised_over_l_and_t_inf(self):
+        l = np.array([100.0, 350.0, 900.0])
+        t_inf = np.array([450.0, 450.0, 500.0])
+        out = n_parallel_for_latency(l, 300.0, t_inf)
+        assert out.shape == (3,)
+        assert out[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            n_parallel_for_latency(100.0, 300.0, 700.0)  # ratio > 2
+        with pytest.raises(ValueError):
+            n_parallel_for_latency(-1.0, 300.0, 450.0)
+
+    def test_exact_mean_parallel_close_to_plugin(self, gridded):
+        # the paper's plug-in N_//(E_J) approximates E[N_//(J)]
+        t0, t_inf = 400.0, 600.0
+        exact = mean_parallel_exact(gridded, t0, t_inf)
+        e_j = delayed_moments(gridded, t0, t_inf).expectation
+        plugin = n_parallel_for_latency(e_j, t0, t_inf)
+        assert exact == pytest.approx(plugin, abs=0.12)
+        assert 1.0 <= exact <= 2.0
+
+    def test_exact_mean_parallel_strategy_method(self, gridded):
+        d = DelayedResubmission(t0=400.0, t_inf=600.0)
+        assert d.mean_parallel_jobs_exact(gridded) == pytest.approx(
+            mean_parallel_exact(gridded, 400.0, 600.0)
+        )

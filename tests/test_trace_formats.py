@@ -1,0 +1,164 @@
+"""Tests for GWF / SWF / CSV / JSONL trace round-trips."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    read_gwf,
+    read_swf,
+    read_trace_csv,
+    read_trace_jsonl,
+    synthesize_week,
+    write_gwf,
+    write_swf,
+    write_trace_csv,
+    write_trace_jsonl,
+)
+from repro.traces.gwf import GWF_FIELDS, gwf_roundtrip_string
+from repro.traces.swf import SWF_FIELDS
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_week("2007-51", seed=4, n_jobs=200)
+
+
+class TestGwf:
+    def test_field_count_is_29(self):
+        assert len(GWF_FIELDS) == 29
+
+    def test_roundtrip_preserves_statistics(self, trace):
+        buf = io.StringIO(gwf_roundtrip_string(trace))
+        back = read_gwf(buf, name=trace.name)
+        assert len(back) == len(trace)
+        assert back.n_outliers == trace.n_outliers
+        assert back.mean_latency() == pytest.approx(trace.mean_latency(), abs=0.01)
+
+    def test_roundtrip_via_file(self, trace, tmp_path):
+        path = tmp_path / "trace.gwf"
+        write_gwf(trace, path)
+        back = read_gwf(path)
+        assert back.name == "trace"
+        assert len(back) == len(trace)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "# comment\n\n0 0.0 120.5 0 1 -1 -1 -1 -1 -1 1 -1\n"
+        t = read_gwf(io.StringIO(text))
+        assert len(t) == 1
+        assert t.latencies[0] == pytest.approx(120.5)
+
+    def test_failed_status_becomes_fault(self):
+        text = "0 0.0 120.5 0 1 -1 -1 -1 -1 -1 0 -1\n"
+        t = read_gwf(io.StringIO(text))
+        assert t.n_outliers == 1
+
+    def test_negative_wait_becomes_fault(self):
+        text = "0 0.0 -1 0 1 -1 -1 -1 -1 -1 1 -1\n"
+        t = read_gwf(io.StringIO(text))
+        assert t.n_outliers == 1
+
+    def test_long_wait_becomes_timeout_outlier(self):
+        text = "0 0.0 99999 0 1 -1 -1 -1 -1 -1 1 -1\n"
+        t = read_gwf(io.StringIO(text))
+        assert t.n_outliers == 1
+
+    def test_submit_times_rebased_to_zero(self):
+        text = (
+            "0 1000.0 10 0 1 -1 -1 -1 -1 -1 1 -1\n"
+            "1 1500.0 10 0 1 -1 -1 -1 -1 -1 1 -1\n"
+        )
+        t = read_gwf(io.StringIO(text))
+        np.testing.assert_allclose(t.submit_times, [0.0, 500.0])
+
+    def test_malformed_line_raises_with_line_number(self):
+        text = "0 0.0 bad 0 1 -1 -1 -1 -1 -1 1 -1\n"
+        with pytest.raises(ValueError, match="line 1"):
+            read_gwf(io.StringIO(text))
+
+    def test_short_line_raises(self):
+        with pytest.raises(ValueError, match="fields"):
+            read_gwf(io.StringIO("0 0.0 1\n"))
+
+    def test_empty_source_raises(self):
+        with pytest.raises(ValueError, match="no job records"):
+            read_gwf(io.StringIO("# only comments\n"))
+
+
+class TestSwf:
+    def test_field_count_is_18(self):
+        assert len(SWF_FIELDS) == 18
+
+    def test_roundtrip_preserves_statistics(self, trace, tmp_path):
+        path = tmp_path / "trace.swf"
+        write_swf(trace, path)
+        back = read_swf(path)
+        assert len(back) == len(trace)
+        assert back.n_outliers == trace.n_outliers
+        assert back.mean_latency() == pytest.approx(trace.mean_latency(), abs=0.01)
+
+    def test_semicolon_comments_skipped(self):
+        text = "; header\n1 0.0 42.0 10 1 -1 -1 -1 -1 -1 1 -1\n"
+        t = read_swf(io.StringIO(text))
+        assert len(t) == 1
+
+    def test_cancelled_jobs_are_outliers(self):
+        text = "1 0.0 42.0 10 1 -1 -1 -1 -1 -1 5 -1\n"
+        t = read_swf(io.StringIO(text))
+        assert t.n_outliers == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="no job records"):
+            read_swf(io.StringIO("; nothing\n"))
+
+
+class TestCsvJsonl:
+    def test_csv_roundtrip_exact(self, trace, tmp_path):
+        path = tmp_path / "t.csv"
+        write_trace_csv(trace, path)
+        back = read_trace_csv(path)
+        assert back.name == trace.name
+        assert back.timeout == trace.timeout
+        np.testing.assert_allclose(back.submit_times, trace.submit_times, atol=1e-5)
+        np.testing.assert_allclose(
+            back.latencies[np.isfinite(back.latencies)],
+            trace.latencies[np.isfinite(trace.latencies)],
+            atol=1e-5,
+        )
+        np.testing.assert_array_equal(back.status_codes, trace.status_codes)
+
+    def test_csv_header_validation(self):
+        with pytest.raises(ValueError, match="header"):
+            read_trace_csv(io.StringIO("a,b\n1,2\n"))
+
+    def test_csv_empty_raises(self):
+        with pytest.raises(ValueError, match="no probe rows"):
+            read_trace_csv(io.StringIO("job_id,submit_time,latency,status\n"))
+
+    def test_jsonl_roundtrip_exact(self, trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_trace_jsonl(trace, path)
+        back = read_trace_jsonl(path)
+        assert back.name == trace.name
+        np.testing.assert_allclose(back.submit_times, trace.submit_times)
+        np.testing.assert_array_equal(back.status_codes, trace.status_codes)
+
+    def test_jsonl_meta_defaults(self):
+        text = '{"job_id": 0, "submit_time": 1.0, "latency": 5.0, "status": "completed"}\n'
+        t = read_trace_jsonl(io.StringIO(text))
+        assert t.name == "trace"
+        assert len(t) == 1
+
+    def test_jsonl_empty_raises(self):
+        with pytest.raises(ValueError, match="no probe rows"):
+            read_trace_jsonl(io.StringIO('{"kind": "trace_meta", "name": "x"}\n'))
+
+    def test_cross_format_consistency(self, trace, tmp_path):
+        # GWF, SWF, CSV and JSONL all encode the same observations
+        g, s = tmp_path / "a.gwf", tmp_path / "a.swf"
+        write_gwf(trace, g)
+        write_swf(trace, s)
+        t_g, t_s = read_gwf(g), read_swf(s)
+        assert t_g.mean_latency() == pytest.approx(t_s.mean_latency())
+        assert t_g.n_outliers == t_s.n_outliers

@@ -1,0 +1,122 @@
+"""Tests for trace characterization reports and burst-size selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.burst_selection import (
+    smallest_b_for_deadline,
+    smallest_b_for_expectation,
+)
+from repro.core.optimize import optimize_multiple, optimize_single
+from repro.traces.dataset import TraceSet
+from repro.traces.paper import synthesize_week
+from repro.traces.report import characterize
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return synthesize_week("2006-IX", seed=13)
+
+
+class TestCharacterize:
+    def test_basic_quantities(self, trace):
+        report = characterize(trace)
+        assert report.name == "2006-IX"
+        assert report.n_jobs == len(trace)
+        assert report.rho == pytest.approx(trace.outlier_ratio)
+        assert report.mean == pytest.approx(trace.mean_latency())
+        assert report.cv == pytest.approx(report.std / report.mean)
+
+    def test_percentiles_monotone(self, trace):
+        report = characterize(trace)
+        values = list(report.percentiles.values())
+        assert values == sorted(values)
+        assert report.percentiles[50.0] == pytest.approx(
+            float(np.median(trace.successful_latencies))
+        )
+
+    def test_heavy_tail_flag(self, trace):
+        report = characterize(trace)
+        assert report.is_heavy_tailed  # 2006-IX has cv ≈ 1.55
+
+    def test_fits_ranked(self, trace):
+        report = characterize(trace)
+        aics = [f.aic for f in report.fits]
+        assert aics == sorted(aics)
+        assert report.best_family in {"lognormal", "weibull", "gamma"}
+
+    def test_skip_fitting(self, trace):
+        report = characterize(trace, fit_families=None)
+        assert report.fits == []
+        assert report.best_family == "none"
+
+    def test_half_drift_on_stationary_trace(self, trace):
+        report = characterize(trace)
+        # the synthetic campaign is stationary: halves agree within noise
+        assert abs(report.half_drift) < 0.25
+
+    def test_half_drift_detects_degradation(self):
+        # construct a trace whose second half is 3x slower
+        n = 400
+        submit = np.arange(n, dtype=np.float64)
+        lat = np.concatenate([np.full(n // 2, 100.0), np.full(n // 2, 300.0)])
+        t = TraceSet("drift", submit, lat, np.zeros(n, dtype=np.int8))
+        report = characterize(t, fit_families=None)
+        assert report.half_drift == pytest.approx(2.0, abs=0.01)
+
+    def test_table_rendering(self, trace):
+        text = characterize(trace).to_table().render()
+        assert "2006-IX" in text
+        assert "p50" in text
+        assert "heavy-tailed" in text
+
+    def test_too_small_trace_raises(self):
+        t = TraceSet(
+            "tiny", np.array([0.0]), np.array([5.0]), np.zeros(1, dtype=np.int8)
+        )
+        with pytest.raises(ValueError, match="too few"):
+            characterize(t)
+
+
+class TestBurstSelection:
+    def test_expectation_target(self, gridded):
+        single = optimize_single(gridded)
+        target = 0.5 * single.e_j
+        b, e_j = smallest_b_for_expectation(gridded, target)
+        assert e_j <= target
+        assert b >= 2
+        # minimality: b-1 misses the target
+        if b > 1:
+            assert optimize_multiple(gridded, b - 1).e_j > target
+
+    def test_trivial_target_is_b1(self, gridded):
+        single = optimize_single(gridded)
+        b, _ = smallest_b_for_expectation(gridded, single.e_j * 1.01)
+        assert b == 1
+
+    def test_unreachable_expectation_raises(self, gridded):
+        # below the 100 s floor no redundancy helps
+        with pytest.raises(ValueError, match="unreachable"):
+            smallest_b_for_expectation(gridded, 50.0, b_max=8)
+
+    def test_deadline_target(self, gridded):
+        b, q_lat = smallest_b_for_deadline(gridded, deadline=700.0, quantile=0.9)
+        assert q_lat <= 700.0
+        assert b >= 1
+
+    def test_tighter_deadline_needs_more_copies(self, gridded):
+        b_loose, _ = smallest_b_for_deadline(gridded, 1500.0, quantile=0.9)
+        b_tight, _ = smallest_b_for_deadline(gridded, 500.0, quantile=0.9)
+        assert b_tight >= b_loose
+
+    def test_unreachable_deadline_raises(self, gridded):
+        with pytest.raises(ValueError, match="unreachable"):
+            smallest_b_for_deadline(gridded, 50.0, quantile=0.99, b_max=6)
+
+    def test_validation(self, gridded):
+        with pytest.raises(ValueError):
+            smallest_b_for_expectation(gridded, -1.0)
+        with pytest.raises(ValueError):
+            smallest_b_for_expectation(gridded, 100.0, b_max=0)
+        with pytest.raises(ValueError):
+            smallest_b_for_deadline(gridded, 100.0, quantile=1.5)

@@ -1,0 +1,241 @@
+"""Tests for probe records, trace sets, calibration and synthesis."""
+
+import numpy as np
+import pytest
+
+from repro.traces import (
+    PAPER_TABLE1,
+    TraceSet,
+    WEEKLY_SETS,
+    WEEKS,
+    calibrate_lognormal,
+    synthesize_all,
+    synthesize_week,
+)
+from repro.traces.paper import AGGREGATE
+from repro.traces.records import PROBE_TIMEOUT, JobStatus, ProbeRecord
+
+
+class TestProbeRecord:
+    def test_completed_record(self):
+        r = ProbeRecord(job_id=1, submit_time=10.0, latency=120.0,
+                        status=JobStatus.COMPLETED)
+        assert not r.is_outlier
+
+    def test_outlier_records(self):
+        for status in (JobStatus.TIMEOUT, JobStatus.FAULT):
+            r = ProbeRecord(job_id=1, submit_time=0.0, latency=float("inf"),
+                            status=status)
+            assert r.is_outlier
+
+    def test_completed_requires_finite_latency(self):
+        with pytest.raises(ValueError, match="finite"):
+            ProbeRecord(1, 0.0, float("inf"), JobStatus.COMPLETED)
+
+    def test_outlier_requires_inf_latency(self):
+        with pytest.raises(ValueError, match="inf"):
+            ProbeRecord(1, 0.0, 100.0, JobStatus.TIMEOUT)
+
+    def test_rejects_nan_latency(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ProbeRecord(1, 0.0, float("nan"), JobStatus.COMPLETED)
+
+    def test_rejects_negative_submit(self):
+        with pytest.raises(ValueError):
+            ProbeRecord(1, -1.0, 100.0, JobStatus.COMPLETED)
+
+
+class TestTraceSet:
+    def make(self) -> TraceSet:
+        return TraceSet(
+            name="t",
+            submit_times=np.array([0.0, 10.0, 20.0, 30.0]),
+            latencies=np.array([100.0, 200.0, np.inf, 400.0]),
+            status_codes=np.array([0, 0, 1, 0]),
+        )
+
+    def test_basic_stats(self):
+        t = self.make()
+        assert len(t) == 4
+        assert t.n_outliers == 1
+        assert t.outlier_ratio == 0.25
+        assert t.mean_latency() == pytest.approx(700 / 3)
+        np.testing.assert_array_equal(t.successful_latencies, [100.0, 200.0, 400.0])
+
+    def test_bounded_mean_counts_outliers_at_timeout(self):
+        t = self.make()
+        expected = (100 + 200 + PROBE_TIMEOUT + 400) / 4
+        assert t.bounded_mean_latency() == pytest.approx(expected)
+
+    def test_summary_keys(self):
+        s = self.make().summary()
+        assert set(s) == {
+            "n_jobs", "n_outliers", "rho", "mean_latency",
+            "bounded_mean_latency", "std_latency",
+        }
+
+    def test_validation_mismatched_columns(self):
+        with pytest.raises(ValueError, match="lengths"):
+            TraceSet("t", np.zeros(2), np.zeros(3), np.zeros(3, dtype=np.int8))
+
+    def test_validation_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            TraceSet("t", np.zeros(0), np.zeros(0), np.zeros(0, dtype=np.int8))
+
+    def test_validation_outlier_must_be_inf(self):
+        with pytest.raises(ValueError, match="inf"):
+            TraceSet("t", np.zeros(1), np.array([5.0]), np.array([1], dtype=np.int8))
+
+    def test_validation_completed_must_be_finite(self):
+        with pytest.raises(ValueError, match="finite"):
+            TraceSet("t", np.zeros(1), np.array([np.inf]), np.array([0], dtype=np.int8))
+
+    def test_validation_latency_above_timeout(self):
+        with pytest.raises(ValueError, match="timeout"):
+            TraceSet("t", np.zeros(1), np.array([20_000.0]),
+                     np.array([0], dtype=np.int8))
+
+    def test_iteration_yields_records(self):
+        records = list(self.make())
+        assert len(records) == 4
+        assert records[2].status is JobStatus.TIMEOUT
+        assert records[0].latency == 100.0
+
+    def test_from_records_roundtrip(self):
+        t = self.make()
+        t2 = TraceSet.from_records("t2", list(t))
+        np.testing.assert_array_equal(t2.latencies, t.latencies)
+        np.testing.assert_array_equal(t2.status_codes, t.status_codes)
+
+    def test_merge(self):
+        t = self.make()
+        merged = TraceSet.merge("m", [t, t])
+        assert len(merged) == 8
+        assert merged.outlier_ratio == 0.25
+
+    def test_merge_rejects_mixed_timeouts(self):
+        t = self.make()
+        other = TraceSet("o", np.zeros(1), np.array([5.0]),
+                         np.array([0], dtype=np.int8), timeout=500.0)
+        with pytest.raises(ValueError, match="timeout"):
+            TraceSet.merge("m", [t, other])
+
+    def test_merge_requires_parts(self):
+        with pytest.raises(ValueError):
+            TraceSet.merge("m", [])
+
+    def test_time_window(self):
+        t = self.make()
+        w = t.time_window(5.0, 25.0)
+        assert len(w) == 2
+        with pytest.raises(ValueError, match="empty"):
+            t.time_window(5.0, 5.0)
+        with pytest.raises(ValueError, match="no probes"):
+            t.time_window(1000.0, 2000.0)
+
+    def test_to_latency_model(self):
+        m = self.make().to_latency_model()
+        assert m.rho == pytest.approx(0.25)
+        assert m.name == "t"
+        assert m.distribution.n_samples == 3
+
+    def test_describe(self):
+        assert "t:" in self.make().describe()
+
+
+class TestCalibration:
+    def test_matches_targets(self):
+        res = calibrate_lognormal(570.0, 886.0, shift=150.0)
+        assert res.achieved_mean == pytest.approx(570.0, rel=1e-3)
+        assert res.achieved_std == pytest.approx(886.0, rel=1e-3)
+        assert res.relative_error < 1e-3
+
+    def test_no_shift(self):
+        res = calibrate_lognormal(400.0, 300.0)
+        assert res.achieved_mean == pytest.approx(400.0, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="exceed the shift"):
+            calibrate_lognormal(100.0, 50.0, shift=150.0)
+        with pytest.raises(ValueError, match="below the timeout"):
+            calibrate_lognormal(20_000.0, 100.0)
+        with pytest.raises(ValueError):
+            calibrate_lognormal(-5.0, 100.0)
+
+    def test_every_paper_week_is_calibratable(self):
+        # the solver must handle all 13 Table-1 rows (CV from 0.7 to 2.2)
+        for name, stats in PAPER_TABLE1.items():
+            if name == AGGREGATE:
+                continue
+            res = calibrate_lognormal(stats.mean_less, stats.sigma_r, shift=150.0)
+            assert res.relative_error < 1e-3, name
+
+
+class TestPaperSynthesis:
+    def test_rho_reconstruction_is_round(self):
+        # the recovered outlier ratios are the paper's round numbers
+        assert PAPER_TABLE1["2006-IX"].rho == pytest.approx(0.05, abs=0.001)
+        assert PAPER_TABLE1["2007-36"].rho == pytest.approx(0.24, abs=0.001)
+        assert PAPER_TABLE1["2007-37"].rho == pytest.approx(0.33, abs=0.001)
+        assert PAPER_TABLE1["2008-03"].rho == pytest.approx(0.10, abs=0.001)
+
+    def test_week_statistics_match_table1(self):
+        t = synthesize_week("2006-IX", seed=3)
+        stats = PAPER_TABLE1["2006-IX"]
+        assert t.mean_latency() == pytest.approx(stats.mean_less, rel=0.02)
+        assert t.std_latency() == pytest.approx(stats.sigma_r, rel=0.05)
+        assert t.outlier_ratio == pytest.approx(stats.rho, abs=0.01)
+
+    def test_bounded_mean_matches_table1(self):
+        t = synthesize_week("2007-36", seed=3)
+        stats = PAPER_TABLE1["2007-36"]
+        assert t.bounded_mean_latency() == pytest.approx(stats.mean_with, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = synthesize_week("2007-51", seed=9)
+        b = synthesize_week("2007-51", seed=9)
+        np.testing.assert_array_equal(a.latencies, b.latencies)
+
+    def test_seeds_differ(self):
+        a = synthesize_week("2007-51", seed=1)
+        b = synthesize_week("2007-51", seed=2)
+        assert not np.array_equal(a.latencies, b.latencies)
+
+    def test_n_jobs_override(self):
+        t = synthesize_week("2007-51", seed=1, n_jobs=100)
+        assert len(t) == 100
+
+    def test_unknown_week(self):
+        with pytest.raises(ValueError, match="unknown trace set"):
+            synthesize_week("2012-01", seed=0)
+
+    def test_aggregate_must_use_synthesize_all(self):
+        with pytest.raises(ValueError, match="union"):
+            synthesize_week(AGGREGATE, seed=0)
+
+    def test_synthesize_all_structure(self):
+        traces = synthesize_all(seed=5)
+        assert set(traces) == set(PAPER_TABLE1)
+        assert len(traces[AGGREGATE]) == sum(
+            len(traces[w]) for w in WEEKLY_SETS
+        )
+        total = sum(len(traces[w]) for w in WEEKS)
+        assert total == 10_893  # the paper's probe count
+
+    def test_aggregate_statistics_consistent_with_table1(self):
+        # the 2007/08 row should emerge from the union of the weekly sets
+        traces = synthesize_all(seed=5)
+        agg = traces[AGGREGATE]
+        stats = PAPER_TABLE1[AGGREGATE]
+        assert agg.mean_latency() == pytest.approx(stats.mean_less, rel=0.05)
+        assert agg.outlier_ratio == pytest.approx(stats.rho, abs=0.03)
+
+    def test_iid_sampling_close_but_noisier(self):
+        t = synthesize_week("2006-IX", seed=3, stratified=False)
+        stats = PAPER_TABLE1["2006-IX"]
+        assert t.mean_latency() == pytest.approx(stats.mean_less, rel=0.15)
+
+    def test_submit_times_sorted_within_campaign(self):
+        t = synthesize_week("2006-IX", seed=3)
+        assert (np.diff(t.submit_times) >= 0).all()
+        assert t.submit_times[-1] <= 7 * 24 * 3600.0

@@ -1,0 +1,197 @@
+"""Tests for validation helpers, RNG management, tables and series."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, spawn_rngs
+from repro.util.series import Series, SeriesBundle
+from repro.util.tables import Table, format_float, format_percent, format_seconds
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestValidation:
+    def test_check_finite_accepts_ints(self):
+        assert check_finite("x", 3) == 3.0
+
+    def test_check_finite_rejects_nan_inf(self):
+        with pytest.raises(ValueError):
+            check_finite("x", float("nan"))
+        with pytest.raises(ValueError):
+            check_finite("x", float("inf"))
+
+    def test_check_finite_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_finite("x", "abc")
+
+    def test_check_positive(self):
+        assert check_positive("x", 0.1) == 0.1
+        with pytest.raises(ValueError, match="must be > 0"):
+            check_positive("x", 0.0)
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative("x", 0.0) == 0.0
+        with pytest.raises(ValueError, match=">= 0"):
+            check_nonnegative("x", -1e-9)
+
+    def test_check_probability(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.5)
+
+    def test_check_in_range_inclusive_flags(self):
+        assert check_in_range("x", 1.0, 1.0, 2.0) == 1.0
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.0, 1.0, 2.0, inclusive=(False, True))
+        with pytest.raises(ValueError):
+            check_in_range("x", 2.0, 1.0, 2.0, inclusive=(True, False))
+        assert check_in_range("x", 1.5, 1.0, 2.0, inclusive=(False, False)) == 1.5
+
+    def test_error_messages_name_the_argument(self):
+        with pytest.raises(ValueError, match="timeout"):
+            check_positive("timeout", -1)
+
+
+class TestRng:
+    def test_as_rng_accepts_none_int_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+        assert isinstance(as_rng(42), np.random.Generator)
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+
+    def test_as_rng_accepts_seedsequence(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_rng(seq), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = as_rng(99).random(5)
+        b = as_rng(99).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_deterministic(self):
+        xs = [g.random() for g in spawn_rngs(1, 3)]
+        ys = [g.random() for g in spawn_rngs(1, 3)]
+        assert xs == ys
+
+    def test_spawn_streams_differ(self):
+        a, b = spawn_rngs(5, 2)
+        assert a.random() != b.random()
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(3)
+        children = spawn_rngs(gen, 4)
+        assert len(children) == 4
+        vals = {g.random() for g in children}
+        assert len(vals) == 4
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+
+class TestFormatting:
+    def test_format_float(self):
+        assert format_float(1.234, 2) == "1.23"
+        assert format_float(float("nan")) == ""
+        assert format_float(None) == ""
+
+    def test_format_seconds_paper_style(self):
+        assert format_seconds(471.2) == "471s"
+        assert format_seconds(None) == ""
+
+    def test_format_percent_signed(self):
+        assert format_percent(-0.334) == "-33.4%"
+        assert format_percent(0.07, 0) == "+7%"
+
+
+class TestTable:
+    def make(self):
+        t = Table(title="demo", columns=["week", "EJ", "cost"])
+        t.add_row("2006-IX", 471.0, 1.0)
+        t.add_row("2007-36", 510.0, 1.001)
+        return t
+
+    def test_add_row_arity_check(self):
+        t = self.make()
+        with pytest.raises(ValueError, match="columns"):
+            t.add_row("x", 1.0)
+
+    def test_column_access(self):
+        t = self.make()
+        assert t.column("week") == ["2006-IX", "2007-36"]
+        with pytest.raises(KeyError):
+            t.column("nope")
+
+    def test_as_dicts(self):
+        t = self.make()
+        assert t.as_dicts()[0] == {"week": "2006-IX", "EJ": 471.0, "cost": 1.0}
+
+    def test_render_contains_everything(self):
+        text = self.make().render()
+        assert "demo" in text
+        assert "2006-IX" in text
+        assert "cost" in text
+        # separator line present
+        assert any(set(line) <= {"-", "+"} for line in text.splitlines())
+
+    def test_render_aligns_columns(self):
+        lines = self.make().render().splitlines()
+        header, sep, row1 = lines[1], lines[2], lines[3]
+        assert len(header) == len(sep) == len(row1)
+
+    def test_extend(self):
+        t = Table(title="x", columns=["a"])
+        t.extend([[1], [2]])
+        assert len(t.rows) == 2
+
+    def test_max_width(self):
+        text = self.make().render(max_width=10)
+        assert all(len(line) <= 10 for line in text.splitlines())
+
+
+class TestSeries:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError, match="equal-length"):
+            Series("s", np.arange(3), np.arange(4))
+
+    def test_min_helpers(self):
+        s = Series("s", np.array([1.0, 2.0, 3.0]), np.array([5.0, 1.0, 9.0]))
+        assert s.y_min == 1.0
+        assert s.argmin_x == 2.0
+
+    def test_sample_keeps_endpoints(self):
+        s = Series("s", np.arange(100.0), np.arange(100.0) ** 2)
+        sub = s.sample(5)
+        assert len(sub) <= 5
+        assert sub.x[0] == 0.0
+        assert sub.x[-1] == 99.0
+
+    def test_sample_noop_when_small(self):
+        s = Series("s", np.arange(3.0), np.arange(3.0))
+        assert s.sample(10) is s
+
+    def test_to_dict(self):
+        s = Series("s", np.array([1.0]), np.array([2.0]))
+        assert s.to_dict() == {"label": "s", "x": [1.0], "y": [2.0]}
+
+    def test_bundle_get_and_labels(self):
+        b = SeriesBundle(title="t", x_label="x", y_label="y")
+        b.add(Series("a", np.arange(2.0), np.arange(2.0)))
+        b.add(Series("b", np.arange(2.0), np.arange(2.0)))
+        assert b.labels == ["a", "b"]
+        assert b.get("b").label == "b"
+        with pytest.raises(KeyError):
+            b.get("c")
+        assert len(b) == 2
+
+    def test_bundle_render_mentions_axes(self):
+        b = SeriesBundle(title="fig", x_label="timeout", y_label="EJ")
+        b.add(Series("a", np.arange(30.0), np.arange(30.0)))
+        text = b.render(points=5)
+        assert "timeout" in text and "EJ" in text and "fig" in text
