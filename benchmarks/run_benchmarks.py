@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Run the core micro-benchmarks and maintain the ``BENCH_core.json`` baseline.
+
+The perf trajectory of this repo is tracked through one committed file,
+``benchmarks/BENCH_core.json``: the distilled pytest-benchmark statistics
+(min / mean / stddev / rounds, in seconds) of every test in
+``benchmarks/test_bench_core.py``, plus enough environment metadata to
+interpret them.  Typical usage::
+
+    python benchmarks/run_benchmarks.py            # run + compare vs baseline
+    python benchmarks/run_benchmarks.py --update   # run + rewrite the baseline
+    python benchmarks/run_benchmarks.py --suite benchmarks  # every bench file
+
+A comparison fails (exit 1) when any benchmark's mean regresses by more
+than ``--threshold`` (default 1.5×) against the committed baseline, so CI
+or a pre-merge run makes perf regressions visible.  See PERFORMANCE.md
+for what each benchmark covers and the current headline numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+REPO_ROOT = BENCH_DIR.parent
+DEFAULT_BASELINE = BENCH_DIR / "BENCH_core.json"
+CORE_SUITE = BENCH_DIR / "test_bench_core.py"
+
+
+def run_pytest_benchmarks(suite: Path) -> dict:
+    """Run pytest-benchmark on ``suite`` and return its raw JSON report."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        report_path = Path(tmp.name)
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(suite),
+        "-q",
+        f"--benchmark-json={report_path}",
+    ]
+    try:
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (pytest exit {proc.returncode})")
+        return json.loads(report_path.read_text(encoding="utf-8"))
+    finally:
+        report_path.unlink(missing_ok=True)
+
+
+def distill(report: dict) -> dict:
+    """Reduce a pytest-benchmark report to {test name: summary stats}."""
+    out = {}
+    for bench in report.get("benchmarks", []):
+        stats = bench["stats"]
+        out[bench["name"]] = {
+            "min": stats["min"],
+            "mean": stats["mean"],
+            "stddev": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    return dict(sorted(out.items()))
+
+
+def baseline_payload(results: dict) -> dict:
+    import numpy
+
+    return {
+        "suite": "core",
+        "updated": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "units": "seconds",
+        "benchmarks": results,
+    }
+
+
+def compare(results: dict, baseline: dict, threshold: float) -> bool:
+    """Print a comparison table; return False when a regression exceeds it."""
+    base = baseline.get("benchmarks", {})
+    ok = True
+    width = max((len(n) for n in results), default=10) + 2
+    print(f"{'benchmark'.ljust(width)}{'mean':>12}{'baseline':>12}{'ratio':>8}")
+    for name, stats in results.items():
+        ref = base.get(name)
+        if ref is None:
+            print(f"{name.ljust(width)}{stats['mean']:12.6f}{'new':>12}{'':>8}")
+            continue
+        ratio = stats["mean"] / ref["mean"] if ref["mean"] > 0 else float("inf")
+        flag = ""
+        if ratio > threshold:
+            flag = "  REGRESSION"
+            ok = False
+        elif ratio < 1.0 / threshold:
+            flag = "  improved"
+        print(
+            f"{name.ljust(width)}{stats['mean']:12.6f}{ref['mean']:12.6f}"
+            f"{ratio:8.2f}{flag}"
+        )
+    missing = sorted(set(base) - set(results))
+    for name in missing:
+        print(f"{name.ljust(width)}{'absent from this run':>24}")
+    return ok
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--suite",
+        default=str(CORE_SUITE),
+        help="pytest target to benchmark (default: the core suite)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="baseline JSON to compare against / update",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline with this run instead of comparing",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="mean-time ratio above which a benchmark counts as regressed",
+    )
+    args = parser.parse_args(argv)
+
+    results = distill(run_pytest_benchmarks(Path(args.suite)))
+    if not results:
+        raise SystemExit("no benchmarks collected — is pytest-benchmark installed?")
+
+    if args.update or not args.baseline.exists():
+        if not args.update:
+            print(f"no baseline at {args.baseline} — writing one")
+        args.baseline.write_text(
+            json.dumps(baseline_payload(results), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline written: {args.baseline} ({len(results)} benchmarks)")
+        return 0
+
+    baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
+    ok = compare(results, baseline, args.threshold)
+    if not ok:
+        print(f"\nregressions above {args.threshold:.2f}x — see table")
+        return 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,16 +17,18 @@ def test_bench_val_des(benchmark, save_result):
     assert all(0.4 < r < 2.5 for r in ratios)
 
 
-def test_bench_adoption_sweep(benchmark, save_result):
+def test_bench_adoption_sweep(benchmark, ctx_fast, save_result):
     result = benchmark.pedantic(
-        lambda: run_experiment("abl-adopt"),
+        lambda: run_experiment("abl-adopt", ctx=ctx_fast),
         rounds=2,
         iterations=1,
         warmup_rounds=1,
     )
     save_result(result)
     (table,) = result.tables
-    assert len(table.rows) == 4
+    # 4 baseline fleets + the surface-calibrated delayed fleet
+    assert len(table.rows) == 5
+    assert any("delayed" in str(row[1]) for row in table.rows)
 
 
 def test_bench_des_probe_throughput(benchmark):

@@ -13,7 +13,10 @@ from dataclasses import dataclass
 
 from repro.core.cost import delta_cost
 from repro.core.model import GriddedLatencyModel
-from repro.core.strategies.delayed import delayed_moments, n_parallel_for_latency
+from repro.core.strategies.delayed import (
+    delayed_expectation_bands,
+    n_parallel_for_latency,
+)
 
 __all__ = ["StabilityReport", "stability_analysis"]
 
@@ -77,15 +80,20 @@ def stability_analysis(
     k0_c = grid.index_of(t0)
     ki_c = grid.index_of(t_inf)
 
+    # the whole box reads from the cached E_J surface rows — one batched
+    # request for the ±radius t0 values, then O(1) lookups per point
+    k0_lo = max(1, k0_c - radius)
+    k0_hi = min(grid.n - 1, k0_c + radius)
+    box_k0 = list(range(k0_lo, k0_hi + 1))
+    rect, _ = delayed_expectation_bands(model, box_k0)
+
     def cost_at(k0: int, ki: int) -> float | None:
         if not (1 <= k0 < grid.n and k0 <= ki <= min(2 * k0, grid.n - 1)):
             return None
-        tt0 = grid.time_of(k0)
-        tti = grid.time_of(ki)
-        e_j = delayed_moments(model, tt0, tti).expectation
-        if not (e_j > 0 and e_j < float("inf")):
+        e_j = float(rect[k0 - k0_lo, ki - k0]) if k0_lo <= k0 <= k0_hi else None
+        if e_j is None or not (e_j > 0 and e_j < float("inf")):
             return None
-        n_par = float(n_parallel_for_latency(e_j, tt0, tti))
+        n_par = float(n_parallel_for_latency(e_j, grid.time_of(k0), grid.time_of(ki)))
         return delta_cost(n_par, e_j, e_j_single)
 
     center = cost_at(k0_c, ki_c)

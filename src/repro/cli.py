@@ -21,8 +21,10 @@ from repro.traces.paper import PAPER_TABLE1, synthesize_week
 
 __all__ = ["main", "build_parser"]
 
-#: experiments that need no ReproContext (they build their own DES grids)
-_CONTEXT_FREE = {"val-des", "abl-adopt"}
+#: experiments that need no ReproContext (they build their own DES grids).
+#: abl-adopt left this set when it gained the surface-calibrated delayed
+#: fleet, which reads the analytic 2006-IX model from the context.
+_CONTEXT_FREE = {"val-des"}
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -98,13 +98,14 @@ def cost_curve_delayed(
     """Δcost of the ratio-constrained delayed strategy (Table 4, left).
 
     For each imposed ratio ``t∞/t0``, ``(t0, t∞)`` minimising ``E_J`` is
-    found; ``N_//`` is the paper's plug-in value at ``l = E_J``.
+    found; ``N_//`` is the paper's plug-in value at ``l = E_J``.  All
+    ratios share one batched surface evaluation (see
+    :func:`repro.core.optimize.optimize_delayed_ratio_sweep`).
     """
-    from repro.core.optimize import optimize_delayed_ratio  # local import: cycle
+    from repro.core.optimize import optimize_delayed_ratio_sweep  # local import: cycle
 
     points = []
-    for ratio in ratios:
-        opt = optimize_delayed_ratio(model, ratio)
+    for ratio, opt in zip(ratios, optimize_delayed_ratio_sweep(model, ratios)):
         n_par = float(n_parallel_for_latency(opt.e_j, opt.t0, opt.t_inf))
         points.append(
             CostPoint(

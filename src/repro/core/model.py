@@ -168,6 +168,13 @@ class GriddedLatencyModel:
             raise TypeError(f"grid must be a TimeGrid, got {type(grid).__name__}")
         self.model = model
         self.grid = grid
+        # per-t0 rows of the delayed E_J surface, filled lazily by
+        # repro.core.strategies.delayed.delayed_expectation_surface so that
+        # repeated optimiser calls on the same model reuse each other's work.
+        # Keyed by the t0 grid index; values are the band arrays over the
+        # feasible t∞ indices. Bounded by _DELAYED_CACHE_BUDGET (see delayed.py).
+        self._delayed_band_cache: dict[int, np.ndarray] = {}
+        self._delayed_band_cache_floats = 0
 
     # -- cached tabulations --------------------------------------------
 

@@ -2,9 +2,14 @@
 
 All optimisers are exhaustive vectorised sweeps over the model grid
 (`integer-second timeouts, as in the paper §7.1`), optionally restricted
-to a search window.  The delayed-strategy optimisers use a two-stage
-coarse→fine sweep over ``t0`` because each ``t0`` candidate costs one O(n)
-vector pass.
+to a search window.  The delayed-strategy optimisers run on the batched
+surface kernel (:func:`repro.core.strategies.delayed.delayed_expectation_surface`):
+every stage evaluates the whole feasible ``(t0, t∞)`` band for its block
+of ``t0`` candidates in a few 2-D passes, and the per-``t0`` rows are
+cached on the model so repeated optimiser calls (ratio sweeps, cost
+frontiers, stability boxes) reuse each other's tabulations.  The
+two-stage coarse→fine sweep over ``t0`` is kept: it bounds the work while
+reproducing the exhaustive optimum on every model we regenerate.
 """
 
 from __future__ import annotations
@@ -16,7 +21,9 @@ import numpy as np
 from repro.core.cost import delta_cost
 from repro.core.model import GriddedLatencyModel
 from repro.core.strategies.delayed import (
-    delayed_expectation_for_t0,
+    _band_rows,
+    delayed_cost_bands,
+    delayed_expectation_bands,
     delayed_moments,
     n_parallel_for_latency,
 )
@@ -33,6 +40,7 @@ __all__ = [
     "optimize_multiple",
     "optimize_delayed",
     "optimize_delayed_ratio",
+    "optimize_delayed_ratio_sweep",
     "optimize_delayed_cost",
 ]
 
@@ -153,6 +161,9 @@ def _delayed_t0_candidates(
     return np.arange(lo, hi + 1, stride), stride
 
 
+
+
+
 def _best_over_t0(
     model: GriddedLatencyModel,
     k0_values: np.ndarray,
@@ -161,12 +172,14 @@ def _best_over_t0(
     """Scan ``t0`` candidates, return (k0, k_inf, value) minimising objective.
 
     ``objective(k0) -> (values, ks)`` maps a ``t0`` index to objective
-    values over its feasible ``t∞`` indices.
+    values over its feasible ``t∞`` indices.  Candidates whose objective is
+    NaN everywhere (degenerate models, empty windows) are skipped rather
+    than crashing ``np.nanargmin``.
     """
     best = (None, None, np.inf)
     for k0 in k0_values:
         values, ks = objective(int(k0))
-        if values.size == 0:
+        if values.size == 0 or np.isnan(values).all():
             continue
         j = int(np.nanargmin(values))
         if values[j] < best[2]:
@@ -174,6 +187,24 @@ def _best_over_t0(
     if best[0] is None:
         raise ValueError("no feasible (t0, t_inf) in the search window")
     return best
+
+
+def _best_in_rect(
+    rect: np.ndarray, k0_values: np.ndarray
+) -> tuple[int, int, float]:
+    """Global minimiser of an inf-padded objective rectangle.
+
+    Ties resolve to the smallest ``t0`` then smallest ``t∞``, matching the
+    scan order of :func:`_best_over_t0`.  Rectangle entries are finite or
+    ``+inf`` by construction (infeasible cells are masked to ``+inf``).
+    """
+    flat = int(np.argmin(rect))
+    i, j = divmod(flat, rect.shape[1])
+    value = float(rect[i, j])
+    if not np.isfinite(value):
+        raise ValueError("no feasible (t0, t_inf) in the search window")
+    k0 = int(k0_values[i])
+    return k0, k0 + j, value
 
 
 def optimize_delayed(
@@ -187,8 +218,9 @@ def optimize_delayed(
     """Globally minimise the delayed-strategy ``E_J`` over ``(t0, t∞)``.
 
     Two-stage search: a coarse sweep over ``t0`` (stride ``coarse`` grid
-    steps, full vectorised ``t∞`` sweep for each), then a unit-stride
-    refinement around the best coarse ``t0``.
+    steps, whole feasible ``t∞`` band per candidate, all candidates in one
+    batched surface evaluation), then a unit-stride refinement around the
+    best coarse ``t0``.
 
     Parameters
     ----------
@@ -201,21 +233,15 @@ def optimize_delayed(
     e_j_single:
         Optional single-resubmission reference to also report ``Δcost``.
     """
-
-    def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
-        e = delayed_expectation_for_t0(model, k0)
-        hi = min(2 * k0, model.grid.n - 1)
-        ks = np.arange(k0, hi + 1)
-        return e[ks], ks
-
     candidates, stride = _delayed_t0_candidates(model, t0_min, t0_max, coarse)
-    k0, k_inf, _ = _best_over_t0(model, candidates, objective)
+    rect, _ = delayed_expectation_bands(model, candidates)
+    k0, k_inf, _val = _best_in_rect(rect, candidates)
     if stride > 1:
         lo = max(2, k0 - stride)
         hi = min(model.grid.n - 1, k0 + stride)
-        k0, k_inf, _ = _best_over_t0(
-            model, np.arange(lo, hi + 1), objective
-        )
+        fine = np.arange(lo, hi + 1)
+        rect, _ = delayed_expectation_bands(model, fine)
+        k0, k_inf, _val = _best_in_rect(rect, fine)
     t0 = model.grid.time_of(k0)
     t_inf = model.grid.time_of(k_inf)
     mom = delayed_moments(model, t0, t_inf)
@@ -232,6 +258,41 @@ def optimize_delayed(
         sigma_j=mom.std,
         n_parallel=n_par,
         cost=cost,
+    )
+
+
+def _ratio_k_inf(model: GriddedLatencyModel, k0v: np.ndarray, ratio: float) -> np.ndarray:
+    """Grid index of ``ratio·t0`` clipped to the feasible band (per ``t0``)."""
+    k_inf = np.minimum(np.rint(k0v * ratio).astype(np.intp), model.grid.n - 1)
+    k_inf = np.minimum(k_inf, 2 * k0v)
+    return np.maximum(k_inf, k0v)
+
+
+def _finish_delayed(
+    model: GriddedLatencyModel,
+    k0: int,
+    k_inf: int,
+    e_j_single: float | None,
+    cost: float | None = None,
+) -> DelayedOptimum:
+    """Assemble a :class:`DelayedOptimum` from winning grid indices."""
+    t0 = model.grid.time_of(k0)
+    t_inf = model.grid.time_of(k_inf)
+    mom = delayed_moments(model, t0, t_inf)
+    n_par = float(n_parallel_for_latency(mom.expectation, t0, t_inf))
+    if cost is None:
+        cost = (
+            delta_cost(n_par, mom.expectation, e_j_single)
+            if e_j_single is not None
+            else float("nan")
+        )
+    return DelayedOptimum(
+        t0=t0,
+        t_inf=t_inf,
+        e_j=mom.expectation,
+        sigma_j=mom.std,
+        n_parallel=n_par,
+        cost=float(cost),
     )
 
 
@@ -253,38 +314,58 @@ def optimize_delayed_ratio(
     ratio:
         Imposed ``t∞/t0`` in ``[1, 2]`` (Table 3 uses 1.1 … 2.0).
     """
-    if not 1.0 <= ratio <= 2.0:
-        raise ValueError(f"ratio must be in [1, 2], got {ratio!r}")
+    (opt,) = optimize_delayed_ratio_sweep(
+        model, (ratio,), t0_min=t0_min, t0_max=t0_max, e_j_single=e_j_single
+    )
+    return opt
 
-    def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
-        k_inf = min(int(round(k0 * ratio)), model.grid.n - 1, 2 * k0)
-        k_inf = max(k_inf, k0)
-        e = delayed_expectation_for_t0(model, k0)
-        return e[[k_inf]], np.array([k_inf])
+
+def optimize_delayed_ratio_sweep(
+    model: GriddedLatencyModel,
+    ratios,
+    *,
+    t0_min: float | None = None,
+    t0_max: float | None = None,
+    e_j_single: float | None = None,
+) -> list[DelayedOptimum]:
+    """Ratio-constrained optima for many imposed ratios from one surface.
+
+    The coarse ``t0`` candidate set is shared by every ratio, so the whole
+    Table 3 / Table 4 sweep costs a single batched surface evaluation plus
+    one thin refinement per ratio (which itself reuses cached rows).
+    """
+    ratios = list(ratios)
+    for ratio in ratios:
+        if not 1.0 <= ratio <= 2.0:
+            raise ValueError(f"ratio must be in [1, 2], got {ratio!r}")
 
     candidates, stride = _delayed_t0_candidates(model, t0_min, t0_max, 4)
-    k0, k_inf, _ = _best_over_t0(model, candidates, objective)
-    if stride > 1:
-        lo = max(2, k0 - stride)
-        hi = min(model.grid.n - 1, k0 + stride)
-        k0, k_inf, _ = _best_over_t0(model, np.arange(lo, hi + 1), objective)
-    t0 = model.grid.time_of(k0)
-    t_inf = model.grid.time_of(k_inf)
-    mom = delayed_moments(model, t0, t_inf)
-    n_par = float(n_parallel_for_latency(mom.expectation, t0, t_inf))
-    cost = (
-        delta_cost(n_par, mom.expectation, e_j_single)
-        if e_j_single is not None
-        else float("nan")
-    )
-    return DelayedOptimum(
-        t0=t0,
-        t_inf=t_inf,
-        e_j=mom.expectation,
-        sigma_j=mom.std,
-        n_parallel=n_par,
-        cost=cost,
-    )
+    rect, _ = delayed_expectation_bands(model, candidates)
+
+    def objective_for(ratio: float):
+        def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
+            k_inf = int(_ratio_k_inf(model, np.array([k0]), ratio)[0])
+            (row,) = _band_rows(model, [k0])
+            return row[[k_inf - k0]], np.array([k_inf])
+
+        return objective
+
+    out = []
+    for ratio in ratios:
+        k_inf_v = _ratio_k_inf(model, candidates, ratio)
+        values = rect[np.arange(len(candidates)), k_inf_v - candidates]
+        best_i = int(np.argmin(values))  # band rows are finite or +inf
+        if not np.isfinite(values[best_i]):
+            raise ValueError("no feasible (t0, t_inf) in the search window")
+        k0, k_inf = int(candidates[best_i]), int(k_inf_v[best_i])
+        if stride > 1:
+            lo = max(2, k0 - stride)
+            hi = min(model.grid.n - 1, k0 + stride)
+            k0, k_inf, _ = _best_over_t0(
+                model, np.arange(lo, hi + 1), objective_for(ratio)
+            )
+        out.append(_finish_delayed(model, k0, k_inf, e_j_single))
+    return out
 
 
 def optimize_delayed_cost(
@@ -310,36 +391,15 @@ def optimize_delayed_cost(
     if e_j_single <= 0:
         raise ValueError(f"e_j_single must be > 0, got {e_j_single!r}")
 
-    def objective(k0: int) -> tuple[np.ndarray, np.ndarray]:
-        e = delayed_expectation_for_t0(model, k0)
-        hi = min(2 * k0, model.grid.n - 1)
-        ks = np.arange(k0, hi + 1)
-        e_win = e[ks]
-        t0 = model.grid.time_of(k0)
-        finite = np.isfinite(e_win)
-        costs = np.full(e_win.shape, np.inf)
-        if finite.any():
-            n_par = n_parallel_for_latency(
-                np.where(finite, e_win, 0.0), t0, model.times[ks]
-            )
-            costs = np.where(finite, n_par * e_win / e_j_single, np.inf)
-        return costs, ks
+    def cost_rect(k0_values: np.ndarray) -> np.ndarray:
+        costs, _n_par = delayed_cost_bands(model, k0_values, e_j_single)
+        return costs
 
     candidates, stride = _delayed_t0_candidates(model, t0_min, t0_max, coarse)
-    k0, k_inf, best_cost = _best_over_t0(model, candidates, objective)
+    k0, k_inf, best_cost = _best_in_rect(cost_rect(candidates), candidates)
     if stride > 1:
         lo = max(2, k0 - stride)
         hi = min(model.grid.n - 1, k0 + stride)
-        k0, k_inf, best_cost = _best_over_t0(model, np.arange(lo, hi + 1), objective)
-    t0 = model.grid.time_of(k0)
-    t_inf = model.grid.time_of(k_inf)
-    mom = delayed_moments(model, t0, t_inf)
-    n_par = float(n_parallel_for_latency(mom.expectation, t0, t_inf))
-    return DelayedOptimum(
-        t0=t0,
-        t_inf=t_inf,
-        e_j=mom.expectation,
-        sigma_j=mom.std,
-        n_parallel=n_par,
-        cost=float(best_cost),
-    )
+        fine = np.arange(lo, hi + 1)
+        k0, k_inf, best_cost = _best_in_rect(cost_rect(fine), fine)
+    return _finish_delayed(model, k0, k_inf, None, cost=best_cost)

@@ -26,7 +26,10 @@ from repro.core.strategies.multiple import (
 )
 from repro.core.strategies.delayed import (
     DelayedResubmission,
+    delayed_cost_bands,
+    delayed_expectation_bands,
     delayed_expectation_for_t0,
+    delayed_expectation_surface,
     delayed_moments,
     delayed_survival,
     n_parallel_for_latency,
@@ -44,7 +47,10 @@ __all__ = [
     "multiple_std_sweep",
     "multiple_moments",
     "DelayedResubmission",
+    "delayed_cost_bands",
+    "delayed_expectation_bands",
     "delayed_expectation_for_t0",
+    "delayed_expectation_surface",
     "delayed_moments",
     "delayed_survival",
     "n_parallel_for_latency",

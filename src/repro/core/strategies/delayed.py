@@ -40,16 +40,28 @@ import numpy as np
 
 from repro.core.model import GriddedLatencyModel
 from repro.core.strategies.base import Strategy, StrategyMoments
+from repro.util.grids import cumulative_trapezoid
 from repro.util.validation import check_positive
 
 __all__ = [
     "DelayedResubmission",
+    "delayed_cost_bands",
     "delayed_expectation_for_t0",
+    "delayed_expectation_bands",
+    "delayed_expectation_surface",
     "delayed_moments",
     "delayed_survival",
     "n_parallel_for_latency",
     "mean_parallel_exact",
 ]
+
+#: rows per vectorised pass of the surface kernel — bounds the temporary
+#: 2-D blocks to a few MB even on full-resolution grids
+_BLOCK_ROWS = 128
+
+#: total float64 budget of the per-model surface-row cache (~64 MB);
+#: oldest rows are evicted first once it is exceeded
+_DELAYED_CACHE_BUDGET = 8_000_000
 
 
 def _validate_indices(model: GriddedLatencyModel, k0: int) -> None:
@@ -67,6 +79,11 @@ def delayed_expectation_for_t0(
     ``t0 <= t∞ <= min(2·t0, t_max)`` or with ``F̃(t∞) = 0`` are ``+inf``.
     The computation is one shifted product and one cumulative sum — O(n)
     for the whole ``t∞`` sweep.
+
+    This is the unbatched reference kernel (and the property-test oracle);
+    sweeps over many ``t0`` values should go through
+    :func:`delayed_expectation_surface`, which evaluates blocks of rows in
+    shared 2-D passes and caches them on the model.
     """
     _validate_indices(model, k0)
     n = model.grid.n
@@ -90,6 +107,167 @@ def delayed_expectation_for_t0(
         vals = term0 + ((c[ks] - c[k0]) + q * d) / p
     vals = np.where(p > 0.0, vals, np.inf)
     out[ks] = vals
+    return out
+
+
+def _compute_band_block(
+    model: GriddedLatencyModel, k0v: np.ndarray
+) -> list[np.ndarray]:
+    """Feasible-band ``E_J`` rows for a block of ``t0`` indices, batched.
+
+    This is the vectorised core of :func:`delayed_expectation_surface`: it
+    evaluates, in a few 2-D passes shared by the whole block, exactly what
+    :func:`delayed_expectation_for_t0` computes one row at a time — the
+    shifted survival product ``G0(v) = S(v)·S(v-t0)``, its cumulative
+    trapezoid integral, and the closed-form combination with the cached
+    ``A``/``F``/``S`` tabulations.  Each arithmetic step mirrors the 1-D
+    kernel operation for operation, so rows agree bit-for-bit with the
+    per-``t0`` reference.
+
+    Returns one band array per ``k0``, aligned with the feasible ``t∞``
+    indices ``k0 .. min(2·k0, n-1)`` (``+inf`` where ``F̃(t∞) = 0``).
+    """
+    n = model.grid.n
+    S = model.S
+    F = model.F
+    a = model.A
+    dt = model.grid.dt
+
+    k0v = np.asarray(k0v, dtype=np.intp)
+    hiv = np.minimum(2 * k0v, n - 1)
+    # columns 0..kmax cover every feasible t∞ of the block; the cumulative
+    # integral over this prefix is bitwise the prefix of the full-grid one
+    kmax = int(hiv.max())
+
+    # G0[i, k] = S[k]·S[k - k0_i] on k >= k0_i, zero-padded below — the same
+    # layout the 1-D kernel uses, filled per row over just the band each row
+    # reads (entries past min(2·k0, kmax) never enter a c value we use)
+    g0 = np.zeros((len(k0v), kmax + 1))
+    for i in range(len(k0v)):
+        k0 = int(k0v[i])
+        hi = int(hiv[i])
+        g0[i, k0 : hi + 1] = S[k0 : hi + 1] * S[: hi - k0 + 1]
+    c = cumulative_trapezoid(g0, dt)
+
+    # rectangular band: column j is the t∞ offset k - k0 in 0..max width
+    j_off = np.arange(int((hiv - k0v).max()) + 1)
+    kk = k0v[:, None] + j_off[None, :]
+    valid = kk <= hiv[:, None]
+    kkc = np.minimum(kk, kmax)  # safe gather index; junk columns masked below
+
+    term0 = a[k0v][:, None]
+    d = term0 - a[j_off][None, :]  # ∫_{t∞-t0}^{t0} S(u) du,  t∞-t0 = j·dt
+    c_win = np.take_along_axis(c, kkc, axis=1) - np.take_along_axis(
+        c, k0v[:, None], axis=1
+    )
+    p = F[kkc]
+    q = S[kkc]
+    with np.errstate(divide="ignore", invalid="ignore"):
+        vals = term0 + (c_win + q * d) / p
+    vals = np.where(valid & (p > 0.0), vals, np.inf)
+    return [vals[i, : hiv[i] - k0v[i] + 1] for i in range(len(k0v))]
+
+
+def _band_rows(
+    model: GriddedLatencyModel, k0s: np.ndarray
+) -> list[np.ndarray]:
+    """Cached feasible-band rows for each requested ``t0`` index.
+
+    Missing rows are computed in blocks of :data:`_BLOCK_ROWS` (ascending,
+    so low-``t0`` blocks stay narrow) and stored on the model; the cache is
+    trimmed oldest-first past :data:`_DELAYED_CACHE_BUDGET` floats.
+    """
+    cache = model._delayed_band_cache
+    requested = {int(k0) for k0 in k0s}
+    missing = sorted(k0 for k0 in requested if k0 not in cache)
+    for start in range(0, len(missing), _BLOCK_ROWS):
+        block = np.asarray(missing[start : start + _BLOCK_ROWS], dtype=np.intp)
+        for k0, row in zip(block, _compute_band_block(model, block)):
+            cache[int(k0)] = row
+            model._delayed_band_cache_floats += row.size
+    if model._delayed_band_cache_floats > _DELAYED_CACHE_BUDGET:
+        # trim oldest-first (dicts iterate in insertion order), sparing the
+        # rows this very call is about to hand back
+        for key in list(cache):
+            if model._delayed_band_cache_floats <= _DELAYED_CACHE_BUDGET:
+                break
+            if key in requested:
+                continue
+            model._delayed_band_cache_floats -= cache.pop(key).size
+    return [cache[int(k0)] for k0 in k0s]
+
+
+def delayed_expectation_bands(
+    model: GriddedLatencyModel, k0s
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feasible-band ``E_J`` rows as one inf-padded rectangle.
+
+    Row ``i`` holds ``E_J(k0_i, k0_i + j)`` in column ``j``; columns past
+    the row's feasible width ``min(2·k0, n-1) - k0`` are ``+inf``.  Returns
+    the rectangle and the per-row band sizes.  This is the compact form the
+    optimisers and cost-frontier sweeps consume — same cached rows as
+    :func:`delayed_expectation_surface`, without materialising full-grid
+    rows.
+    """
+    k0v = np.asarray(k0s, dtype=np.intp).ravel()
+    for k0 in k0v:
+        _validate_indices(model, int(k0))
+    rows = _band_rows(model, k0v)
+    widths = np.array([row.size for row in rows], dtype=np.intp)
+    rect = np.full((len(rows), int(widths.max())), np.inf)
+    for i, row in enumerate(rows):
+        rect[i, : row.size] = row
+    return rect, widths
+
+
+def delayed_cost_bands(
+    model: GriddedLatencyModel, k0s, e_j_single: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """``Δcost`` and plug-in ``N_//`` over the feasible bands (Eq. 6).
+
+    Aligned with :func:`delayed_expectation_bands`: row ``i``, column ``j``
+    is the configuration ``(t0_i, t0_i + j·dt)``; infeasible cells are
+    ``+inf`` in the cost rectangle (and carry no meaning in ``N_//``).
+    Shared by the cost optimiser and the Fig. 8 cost frontier so the
+    masking/clipping invariants live in one place.
+    """
+    if e_j_single <= 0:
+        raise ValueError(f"e_j_single must be > 0, got {e_j_single!r}")
+    k0v = np.asarray(k0s, dtype=np.intp).ravel()
+    rect, _ = delayed_expectation_bands(model, k0v)
+    finite = np.isfinite(rect)
+    if not finite.any():
+        return np.full(rect.shape, np.inf), np.ones(rect.shape)
+    t0g = model.times[k0v][:, None]
+    j_off = np.arange(rect.shape[1])
+    ti = model.times[np.minimum(k0v[:, None] + j_off[None, :], model.grid.n - 1)]
+    # clip junk columns into the kernel's domain; they stay masked out
+    ti = np.clip(ti, t0g, 2.0 * t0g)
+    n_par = _n_parallel_kernel(np.where(finite, rect, 0.0), t0g, ti)
+    costs = np.where(finite, n_par * rect / e_j_single, np.inf)
+    return costs, n_par
+
+
+def delayed_expectation_surface(
+    model: GriddedLatencyModel, k0s
+) -> np.ndarray:
+    """``E_J`` rows of the delayed surface for a block of ``t0`` indices.
+
+    Row ``i`` equals ``delayed_expectation_for_t0(model, k0s[i])`` — a
+    full-grid array whose entries outside the feasible window
+    ``t0 <= t∞ <= min(2·t0, t_max)`` are ``+inf`` — but the whole block is
+    evaluated in a few shared 2-D vectorised passes and the per-``t0`` rows
+    are cached on ``model``, so optimisers and experiments sweeping many
+    ``t0`` candidates pay the tabulation once.
+    """
+    k0v = np.asarray(k0s, dtype=np.intp).ravel()
+    for k0 in k0v:
+        _validate_indices(model, int(k0))
+    n = model.grid.n
+    rows = _band_rows(model, k0v)
+    out = np.full((len(k0v), n), np.inf)
+    for i, (k0, row) in enumerate(zip(k0v, rows)):
+        out[i, k0 : k0 + row.size] = row
     return out
 
 
@@ -186,11 +364,18 @@ def delayed_survival(
 
 
 def _n_parallel_kernel(
-    l: np.ndarray, t0: float, t_inf: np.ndarray
+    l: np.ndarray, t0: np.ndarray | float, t_inf: np.ndarray
 ) -> np.ndarray:
-    """Broadcasting core of §6.1's piecewise ``N_//(l)`` (no validation)."""
-    l, t_inf = np.broadcast_arrays(
-        np.asarray(l, dtype=np.float64), np.asarray(t_inf, dtype=np.float64)
+    """Broadcasting core of §6.1's piecewise ``N_//(l)`` (no validation).
+
+    ``l``, ``t0`` and ``t_inf`` all broadcast against each other; the cost
+    optimiser evaluates whole ``(t0, t∞)`` rectangles through this in one
+    pass.
+    """
+    l, t0, t_inf = np.broadcast_arrays(
+        np.asarray(l, dtype=np.float64),
+        np.asarray(t0, dtype=np.float64),
+        np.asarray(t_inf, dtype=np.float64),
     )
     out = np.ones(l.shape)
     n = np.floor(l / t0 + 1e-12)
@@ -198,11 +383,12 @@ def _n_parallel_kernel(
     if active.any():
         la = l[active]
         na = n[active]
+        ta = t0[active]
         ti = t_inf[active]
-        in_i0 = la < (na - 1.0) * t0 + ti
-        job_time_i0 = t0 + (na - 1.0) * ti + 2.0 * (la - na * t0)
+        in_i0 = la < (na - 1.0) * ta + ti
+        job_time_i0 = ta + (na - 1.0) * ti + 2.0 * (la - na * ta)
         job_time_i1 = (
-            t0 + (na - 1.0) * ti + 2.0 * (ti - t0) + (la - (na - 1.0) * t0 - ti)
+            ta + (na - 1.0) * ti + 2.0 * (ti - ta) + (la - (na - 1.0) * ta - ti)
         )
         job_time = np.where(in_i0, job_time_i0, job_time_i1)
         out[active] = job_time / la

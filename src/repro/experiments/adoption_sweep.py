@@ -12,8 +12,14 @@ impact on the grid workload).
 
 from __future__ import annotations
 
-from repro.core.strategies import MultipleSubmission, SingleResubmission
+from repro.core.optimize import optimize_delayed
+from repro.core.strategies import (
+    DelayedResubmission,
+    MultipleSubmission,
+    SingleResubmission,
+)
 from repro.experiments.base import ExperimentResult
+from repro.experiments.context import T0_WINDOW
 from repro.gridsim import (
     FaultModel,
     GridConfig,
@@ -103,6 +109,20 @@ def run(
         execute(n, MultipleSubmission(b=b, t_inf=4000.0), f"multiple b={b}")
         for n in fleet_sizes
     ]
+
+    if ctx is not None:
+        # paper-calibrated delayed fleet: the whole (t0, t∞) surface of the
+        # 2006-IX analytic model in one batched request, scaled to this
+        # grid's latency regime, executed mechanistically at the top fleet
+        opt = optimize_delayed(
+            ctx.model("2006-IX"), t0_min=T0_WINDOW[0], t0_max=T0_WINDOW[1]
+        )
+        scale = max(1.0, 4000.0 / opt.t_inf)
+        execute(
+            fleet_sizes[-1],
+            DelayedResubmission(t0=scale * opt.t0, t_inf=scale * opt.t_inf),
+            f"delayed (t0={scale * opt.t0:.0f}s)",
+        )
 
     erosion = means[-1] / means[0]
     notes = [

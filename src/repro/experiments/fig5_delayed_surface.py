@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.optimize import optimize_delayed
-from repro.core.strategies import delayed_expectation_for_t0
+from repro.core.strategies import delayed_expectation_surface
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import T0_WINDOW, ReproContext, get_context
 from repro.util.series import Series, SeriesBundle
@@ -50,9 +50,9 @@ def run(
     t0_values = np.linspace(
         max(100.0, 0.5 * opt.t0), min(2.5 * opt.t0, T0_WINDOW[1]), n_slices
     )
-    for t0 in t0_values:
-        k0 = model.index_of(float(t0))
-        sweep = delayed_expectation_for_t0(model, k0)
+    k0s = [model.index_of(float(t0)) for t0 in t0_values]
+    surface = delayed_expectation_surface(model, k0s)  # all slices, one call
+    for k0, sweep in zip(k0s, surface):
         ks = np.arange(k0, min(2 * k0, model.grid.n - 1) + 1)
         bundle.add(
             Series(

@@ -21,10 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.cost import cost_curve_delayed, cost_curve_multiple
-from repro.core.strategies.delayed import (
-    delayed_expectation_for_t0,
-    n_parallel_for_latency,
-)
+from repro.core.strategies.delayed import delayed_cost_bands
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import T0_WINDOW, ReproContext, get_context
 from repro.experiments.table3_delayed_ratio import RATIOS
@@ -52,28 +49,19 @@ def delayed_cost_frontier(
     grid = model.grid
     lo = max(2, grid.index_of(t0_min))
     hi = min(grid.n - 1, grid.index_of(t0_max))
-    bins: dict[int, float] = {}
-    for k0 in range(lo, hi + 1, max(1, stride)):
-        e = delayed_expectation_for_t0(model, k0)
-        ks = np.arange(k0, min(2 * k0, grid.n - 1) + 1)
-        e_win = e[ks]
-        finite = np.isfinite(e_win)
-        if not finite.any():
-            continue
-        t0 = grid.time_of(k0)
-        n_par = np.asarray(
-            n_parallel_for_latency(
-                np.where(finite, e_win, 0.0), t0, model.times[ks]
-            )
-        )
-        costs = np.where(finite, n_par * e_win / e_j_single, np.inf)
-        for n, c in zip(n_par[finite], costs[finite]):
-            key = int(n / bin_width)
-            if c < bins.get(key, np.inf):
-                bins[key] = float(c)
-    keys = sorted(bins)
-    x = np.array([(k + 0.5) * bin_width for k in keys])
-    y = np.array([bins[k] for k in keys])
+    k0v = np.arange(lo, hi + 1, max(1, stride))
+    # the whole (t0, t∞) sweep in one batched surface request
+    costs, n_par = delayed_cost_bands(model, k0v, e_j_single)
+    finite = np.isfinite(costs)
+    if not finite.any():
+        return np.empty(0), np.empty(0)
+    keys = (n_par[finite] / bin_width).astype(np.int64)
+    vals = costs[finite]
+    order = np.argsort(keys, kind="stable")
+    keys, vals = keys[order], vals[order]
+    starts = np.flatnonzero(np.r_[True, np.diff(keys) > 0])
+    y = np.minimum.reduceat(vals, starts)
+    x = (keys[starts] + 0.5) * bin_width
     return x, y
 
 

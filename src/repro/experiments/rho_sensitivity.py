@@ -7,6 +7,11 @@ resubmission, the b=3 burst, and the delayed win-win configuration.
 Expected structure: with ρ = 0 the timeout matters little and Δcost
 stays near 1; as ρ grows, resubmission becomes indispensable (E_J at
 infinite patience diverges) and the win-win region widens.
+
+Each ρ point builds a fresh gridded model, so the win-win search is the
+dominant cost; ``optimize_delayed_cost`` evaluates the whole ``(t0, t∞)``
+surface of each model in one batched request rather than per-``t0``
+slices.
 """
 
 from __future__ import annotations

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.optimize import optimize_delayed_ratio
+from repro.core.optimize import optimize_delayed_ratio_sweep
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import T0_WINDOW, ReproContext, get_context
 from repro.util.tables import Table, format_float, format_percent, format_seconds
@@ -57,14 +57,14 @@ def run(ctx: ReproContext | None = None, *, week: str = "2006-IX") -> Experiment
         ],
     )
     deltas = []
-    for ratio in RATIOS:
-        opt = optimize_delayed_ratio(
-            model,
-            ratio,
-            t0_min=T0_WINDOW[0],
-            t0_max=T0_WINDOW[1],
-            e_j_single=single.e_j,
-        )
+    optima = optimize_delayed_ratio_sweep(  # whole ratio column, one surface
+        model,
+        RATIOS,
+        t0_min=T0_WINDOW[0],
+        t0_max=T0_WINDOW[1],
+        e_j_single=single.e_j,
+    )
+    for ratio, opt in zip(RATIOS, optima):
         delta = opt.e_j / single.e_j - 1.0
         deltas.append(delta)
         ref = PAPER_TABLE3.get(ratio)

@@ -46,7 +46,13 @@ def weekly_cost_optima(
     ctx: ReproContext,
     weeks: tuple[str, ...] = TABLE5_WEEKS,
 ) -> dict[str, "DelayedOptimumLike"]:
-    """Cost-optimal delayed configuration per week (shared with Table 6)."""
+    """Cost-optimal delayed configuration per week (shared with Table 6).
+
+    Each week is one batched surface request: ``optimize_delayed_cost``
+    evaluates its whole coarse ``(t0, t∞)`` rectangle in a single kernel
+    pass, and the rows it caches on the week's model are what the ±5 s
+    stability boxes of :func:`run` read back for free.
+    """
     out = {}
     for week in weeks:
         single = ctx.single_optimum(week)

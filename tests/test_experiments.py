@@ -237,6 +237,20 @@ class TestValidations:
         j_large = float(burst_rows[-1]["mean J"].rstrip("s"))
         assert j_large > j_small  # load feedback erodes the gain
 
+    def test_adoption_delayed_fleet_needs_context(self, ctx):
+        # without a context there is no analytic model to calibrate from
+        res = run_experiment("abl-adopt", fleet_sizes=(10, 20), window=3600.0)
+        (table,) = res.tables
+        assert not any("delayed" in r["strategy"] for r in table.as_dicts())
+        # with one, the surface-calibrated delayed fleet rides along
+        res = run_experiment(
+            "abl-adopt", ctx=ctx, fleet_sizes=(10, 20), window=3600.0
+        )
+        (table,) = res.tables
+        delayed = [r for r in table.as_dicts() if "delayed" in r["strategy"]]
+        assert len(delayed) == 1
+        assert float(delayed[0]["jobs/task"]) < 3.0  # lighter than the burst
+
 
 class TestAblations:
     def test_rho_sensitivity_monotone(self, ctx):

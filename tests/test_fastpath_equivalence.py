@@ -1,0 +1,219 @@
+"""Equivalence tests for the batched fast paths introduced with the
+surface kernel: the 2-D delayed-E_J kernel against the per-``t0``
+reference, and the closed-form Monte-Carlo draws against the original
+loop-based mechanical replays (kept here verbatim as references)."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import LatencyModel
+from repro.core.optimize import _best_over_t0, optimize_delayed
+from repro.core.strategies.delayed import (
+    _DELAYED_CACHE_BUDGET,
+    delayed_expectation_bands,
+    delayed_expectation_for_t0,
+    delayed_expectation_surface,
+)
+from repro.distributions import LogNormal, ShiftedDistribution, Weibull
+from repro.montecarlo import simulate_multiple, simulate_single
+from repro.util.grids import TimeGrid
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+model_params = st.tuples(
+    st.floats(min_value=4.5, max_value=6.5),   # lognormal mu
+    st.floats(min_value=0.4, max_value=1.6),   # lognormal sigma
+    st.floats(min_value=0.0, max_value=0.4),   # rho
+    st.floats(min_value=0.0, max_value=300.0), # shift
+)
+
+
+def make_gridded(params, t_max=6000.0, dt=4.0):
+    mu, sigma, rho, shift = params
+    dist = ShiftedDistribution(LogNormal(mu=mu, sigma=sigma), shift=shift)
+    return LatencyModel(dist, rho=rho).on_grid(TimeGrid(t_max=t_max, dt=dt))
+
+
+# -- reference implementations: the original loop-based MC replays --------
+
+_MAX_ROUNDS = 100_000
+
+
+def _loop_simulate_single(model, t_inf, n_tasks, rng):
+    """Seed implementation of simulate_single (mechanical replay)."""
+    gen = np.random.default_rng(rng)
+    j = np.zeros(n_tasks)
+    jobs = np.zeros(n_tasks, dtype=np.int64)
+    alive = np.arange(n_tasks)
+    for _ in range(_MAX_ROUNDS):
+        if alive.size == 0:
+            break
+        lat = model.sample_latencies(alive.size, gen)
+        jobs[alive] += 1
+        success = lat < t_inf
+        done = alive[success]
+        j[done] += lat[success]
+        failed = alive[~success]
+        j[failed] += t_inf
+        alive = failed
+    return j, jobs
+
+
+def _loop_simulate_multiple(model, b, t_inf, n_tasks, rng):
+    """Seed implementation of simulate_multiple (mechanical replay)."""
+    gen = np.random.default_rng(rng)
+    j = np.zeros(n_tasks)
+    jobs = np.zeros(n_tasks, dtype=np.int64)
+    alive = np.arange(n_tasks)
+    for _ in range(_MAX_ROUNDS):
+        if alive.size == 0:
+            break
+        lat = model.sample_latencies(alive.size * b, gen).reshape(alive.size, b)
+        jobs[alive] += b
+        best = lat.min(axis=1)
+        success = best < t_inf
+        done = alive[success]
+        j[done] += best[success]
+        failed = alive[~success]
+        j[failed] += t_inf
+        alive = failed
+    return j, jobs
+
+
+class TestSurfaceKernel:
+    @SETTINGS
+    @given(params=model_params)
+    def test_surface_rows_match_reference(self, params):
+        gm = make_gridded(params)
+        n = gm.grid.n
+        k0s = [2, 3, 7, n // 8, n // 3, n // 2, 2 * n // 3, n - 1]
+        surface = delayed_expectation_surface(gm, k0s)
+        for row, k0 in zip(surface, k0s):
+            ref = delayed_expectation_for_t0(gm, k0)
+            np.testing.assert_allclose(row, ref, atol=1e-9)
+
+    @SETTINGS
+    @given(params=model_params)
+    def test_bands_match_surface(self, params):
+        gm = make_gridded(params)
+        n = gm.grid.n
+        k0s = np.array([5, n // 4, n // 2, n - 2])
+        rect, widths = delayed_expectation_bands(gm, k0s)
+        surface = delayed_expectation_surface(gm, k0s)
+        for i, k0 in enumerate(k0s):
+            w = int(widths[i])
+            assert w == min(2 * k0, n - 1) - k0 + 1
+            np.testing.assert_array_equal(rect[i, :w], surface[i, k0 : k0 + w])
+            assert np.isinf(rect[i, w:]).all()
+
+    def test_rows_are_cached_and_reused(self):
+        gm = make_gridded((5.6, 1.1, 0.05, 150.0))
+        first = delayed_expectation_surface(gm, [50, 80])
+        assert set(gm._delayed_band_cache) >= {50, 80}
+        row_obj = gm._delayed_band_cache[50]
+        second = delayed_expectation_surface(gm, [50])
+        assert gm._delayed_band_cache[50] is row_obj  # no recomputation
+        np.testing.assert_array_equal(first[0], second[0])
+
+    def test_cache_budget_is_bounded(self):
+        gm = make_gridded((5.6, 1.1, 0.05, 150.0), t_max=6000.0, dt=1.0)
+        delayed_expectation_surface(gm, list(range(2, gm.grid.n - 1, 3)))
+        assert gm._delayed_band_cache_floats <= _DELAYED_CACHE_BUDGET
+        assert sum(
+            row.size for row in gm._delayed_band_cache.values()
+        ) == gm._delayed_band_cache_floats
+
+    def test_optimizer_matches_exhaustive_reference(self):
+        gm = make_gridded((5.6, 1.1, 0.05, 150.0))
+        opt = optimize_delayed(gm, coarse=1)
+        best = (np.inf, None, None)
+        for k0 in range(2, gm.grid.n - 1):
+            ref = delayed_expectation_for_t0(gm, k0)
+            hi = min(2 * k0, gm.grid.n - 1)
+            ks = np.arange(k0, hi + 1)
+            j = int(np.argmin(ref[ks]))
+            if ref[ks][j] < best[0]:
+                best = (float(ref[ks][j]), k0, int(ks[j]))
+        assert opt.e_j == pytest.approx(best[0], rel=1e-12)
+        assert gm.grid.index_of(opt.t0) == best[1]
+        assert gm.grid.index_of(opt.t_inf) == best[2]
+
+
+class TestBestOverT0Hardening:
+    def test_all_nan_candidates_are_skipped(self):
+        gm = make_gridded((5.6, 1.1, 0.05, 150.0))
+
+        def objective(k0):
+            ks = np.arange(k0, min(2 * k0, gm.grid.n - 1) + 1)
+            if k0 < 100:
+                return np.full(ks.size, np.nan), ks
+            return np.asarray(delayed_expectation_for_t0(gm, k0)[ks]), ks
+
+        k0, k_inf, value = _best_over_t0(gm, np.arange(50, 160, 10), objective)
+        assert k0 >= 100
+        assert np.isfinite(value)
+
+    def test_everything_nan_raises_value_error(self):
+        gm = make_gridded((5.6, 1.1, 0.05, 150.0))
+
+        def objective(k0):
+            ks = np.arange(k0, min(2 * k0, gm.grid.n - 1) + 1)
+            return np.full(ks.size, np.nan), ks
+
+        with pytest.raises(ValueError, match="no feasible"):
+            _best_over_t0(gm, np.arange(50, 100, 10), objective)
+
+
+class TestClosedFormMcLaw:
+    """Closed-form draws vs the loop-based replays, at fixed seeds.
+
+    The two samplers consume randomness differently, so agreement is
+    statistical: means within a few combined standard errors, matching
+    standard deviations and mean job counts.
+    """
+
+    N = 60_000
+
+    @pytest.fixture(scope="class")
+    def model(self):
+        dist = ShiftedDistribution(LogNormal(mu=5.6, sigma=1.1), shift=150.0)
+        return LatencyModel(dist, rho=0.05)
+
+    def assert_law_agrees(self, j_ref, jobs_ref, run):
+        se = np.hypot(
+            j_ref.std(ddof=1) / np.sqrt(j_ref.size),
+            run.j.std(ddof=1) / np.sqrt(run.j.size),
+        )
+        assert abs(j_ref.mean() - run.mean_j) < 5.0 * se
+        assert run.std_j == pytest.approx(j_ref.std(), rel=0.05)
+        assert run.mean_jobs == pytest.approx(jobs_ref.mean(), rel=0.05)
+
+    def test_single_matches_loop_replay(self, model):
+        j_ref, jobs_ref = _loop_simulate_single(model, 600.0, self.N, rng=11)
+        run = simulate_single(model, 600.0, self.N, rng=12)
+        self.assert_law_agrees(j_ref, jobs_ref, run)
+
+    @pytest.mark.parametrize("b", (2, 5))
+    def test_multiple_matches_loop_replay(self, model, b):
+        j_ref, jobs_ref = _loop_simulate_multiple(model, b, 800.0, self.N, rng=b)
+        run = simulate_multiple(model, b, 800.0, self.N, rng=b + 50)
+        self.assert_law_agrees(j_ref, jobs_ref, run)
+
+    def test_multiple_with_weibull_body(self):
+        dist = ShiftedDistribution(Weibull(shape=1.3, scale=500.0), shift=80.0)
+        model = LatencyModel(dist, rho=0.2)
+        j_ref, jobs_ref = _loop_simulate_multiple(model, 3, 900.0, self.N, rng=7)
+        run = simulate_multiple(model, 3, 900.0, self.N, rng=77)
+        self.assert_law_agrees(j_ref, jobs_ref, run)
+
+    def test_deterministic_at_fixed_seed(self, model):
+        a = simulate_single(model, 600.0, 1000, rng=5)
+        b = simulate_single(model, 600.0, 1000, rng=5)
+        np.testing.assert_array_equal(a.j, b.j)
+        np.testing.assert_array_equal(a.jobs_submitted, b.jobs_submitted)
