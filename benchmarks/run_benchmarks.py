@@ -4,8 +4,9 @@
 The perf trajectory of this repo is tracked through one committed file,
 ``benchmarks/BENCH_core.json``: the distilled pytest-benchmark statistics
 (min / mean / stddev / rounds, in seconds) of every test in
-``benchmarks/test_bench_core.py``, plus enough environment metadata to
-interpret them.  Typical usage::
+``benchmarks/test_bench_core.py`` and ``benchmarks/test_bench_gridsim.py``
+(the numerical kernels and the DES substrate), plus enough environment
+metadata to interpret them.  Typical usage::
 
     python benchmarks/run_benchmarks.py            # run + compare vs baseline
     python benchmarks/run_benchmarks.py --update   # run + rewrite the baseline
@@ -32,11 +33,12 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 DEFAULT_BASELINE = BENCH_DIR / "BENCH_core.json"
-CORE_SUITE = BENCH_DIR / "test_bench_core.py"
+#: the tracked baseline covers the numerical core *and* the DES substrate
+CORE_SUITES = [BENCH_DIR / "test_bench_core.py", BENCH_DIR / "test_bench_gridsim.py"]
 
 
-def run_pytest_benchmarks(suite: Path) -> dict:
-    """Run pytest-benchmark on ``suite`` and return its raw JSON report."""
+def run_pytest_benchmarks(suites: list[Path]) -> dict:
+    """Run pytest-benchmark on ``suites`` and return the raw JSON report."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         report_path = Path(tmp.name)
     env = dict(os.environ)
@@ -48,7 +50,7 @@ def run_pytest_benchmarks(suite: Path) -> dict:
         sys.executable,
         "-m",
         "pytest",
-        str(suite),
+        *(str(s) for s in suites),
         "-q",
         f"--benchmark-json={report_path}",
     ]
@@ -124,8 +126,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--suite",
-        default=str(CORE_SUITE),
-        help="pytest target to benchmark (default: the core suite)",
+        nargs="+",
+        default=[str(s) for s in CORE_SUITES],
+        help=(
+            "pytest target(s) to benchmark (default: the core + gridsim "
+            "suites tracked in the baseline)"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -146,7 +152,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    results = distill(run_pytest_benchmarks(Path(args.suite)))
+    results = distill(run_pytest_benchmarks([Path(s) for s in args.suite]))
     if not results:
         raise SystemExit("no benchmarks collected — is pytest-benchmark installed?")
 

@@ -1,7 +1,22 @@
-"""Benchmarks: DES validation, fleet-adoption extension, raw DES throughput."""
+"""Benchmarks: DES validation, fleet-adoption extension, raw DES substrate.
 
+The substrate benches (warm-up, warmed fork, probe campaign, adoption
+fleet) isolate the kernels the ISSUE-2 overhaul targets, so the gridsim
+speedup is tracked in ``BENCH_core.json`` like the PR 1 kernels; the two
+experiment benches measure the end-to-end wall time of ``val-des`` and
+``abl-adopt``.
+"""
+
+from repro.core.strategies import MultipleSubmission
 from repro.experiments import run_experiment
-from repro.gridsim import GridSimulator, ProbeExperiment, default_grid_config
+from repro.gridsim import (
+    GridSimulator,
+    ProbeExperiment,
+    default_grid_config,
+    run_strategy_on_grid,
+    warmed_grid,
+)
+from repro.gridsim.grid import _WARM_CACHE
 
 
 def test_bench_val_des(benchmark, save_result):
@@ -31,13 +46,56 @@ def test_bench_adoption_sweep(benchmark, ctx_fast, save_result):
     assert any("delayed" in str(row[1]) for row in table.rows)
 
 
-def test_bench_des_probe_throughput(benchmark):
-    """Raw DES speed: one simulated probe-day on the default grid."""
+def test_bench_grid_warm_up(benchmark):
+    """Raw DES speed: a 12-hour warm-up of the default 12-site grid."""
+
+    def warm():
+        grid = GridSimulator(default_grid_config(), seed=5)
+        grid.warm_up(12 * 3600.0)
+        return grid
+
+    grid = benchmark.pedantic(warm, rounds=3, iterations=1, warmup_rounds=1)
+    assert grid.utilization() > 0.5
+
+
+def test_bench_warmed_fork(benchmark):
+    """Snapshot path: forking a cached warmed grid (vs re-warming it)."""
+    _WARM_CACHE.clear()
+    cfg = default_grid_config()
+    warmed_grid(cfg, seed=5, duration=12 * 3600.0)  # build + freeze master
+
+    grid = benchmark.pedantic(
+        lambda: warmed_grid(cfg, seed=5, duration=12 * 3600.0),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert grid.now == 12 * 3600.0
+
+
+def test_bench_probe_campaign(benchmark):
+    """Raw DES speed: one simulated probe-day on a warmed default grid."""
 
     def campaign():
-        grid = GridSimulator(default_grid_config(), seed=5)
-        grid.warm_up(6 * 3600.0)
+        grid = warmed_grid(default_grid_config(), seed=5, duration=6 * 3600.0)
         return ProbeExperiment(grid, n_slots=20).run(86_400.0)
 
     trace = benchmark.pedantic(campaign, rounds=3, iterations=1, warmup_rounds=1)
     assert len(trace) > 100
+
+
+def test_bench_adoption_fleet(benchmark):
+    """Raw DES speed: one 200-task burst fleet on a warmed default grid."""
+
+    def fleet():
+        grid = warmed_grid(default_grid_config(), seed=7, duration=6 * 3600.0)
+        return run_strategy_on_grid(
+            grid,
+            MultipleSubmission(b=3, t_inf=4000.0),
+            200,
+            task_interval=100.0,
+            runtime=600.0,
+        )
+
+    outcome = benchmark.pedantic(fleet, rounds=3, iterations=1, warmup_rounds=1)
+    assert outcome.j.size > 100

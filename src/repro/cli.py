@@ -4,7 +4,7 @@ Usage::
 
     python -m repro list
     python -m repro run table2 --seed 2009 --dt 1.0
-    python -m repro run all --out results/
+    python -m repro run all --out results/ --jobs 4
     python -m repro describe 2006-IX
 """
 
@@ -16,15 +16,11 @@ from pathlib import Path
 from typing import Sequence
 
 from repro._version import __version__
-from repro.experiments import get_context, list_experiments, run_experiment
+from repro.experiments import list_experiments
+from repro.experiments.runner import iter_many
 from repro.traces.paper import PAPER_TABLE1, synthesize_week
 
 __all__ = ["main", "build_parser"]
-
-#: experiments that need no ReproContext (they build their own DES grids).
-#: abl-adopt left this set when it gained the surface-calibrated delayed
-#: fleet, which reads the analytic 2006-IX model from the context.
-_CONTEXT_FREE = {"val-des"}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -58,6 +54,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory to write rendered results into (one .txt per id)",
     )
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for running several experiments in "
+            "parallel (output is byte-identical to --jobs 1)"
+        ),
+    )
 
     desc_p = sub.add_parser("describe", help="describe a paper trace set")
     desc_p.add_argument("week", help="trace-set name, e.g. 2006-IX")
@@ -81,16 +86,16 @@ def _cmd_run(args, out) -> int:
             f"available: {', '.join(list_experiments())}\n"
         )
         return 2
-    ctx = get_context(seed=args.seed, dt=args.dt)
+    if args.jobs < 1:
+        out.write(f"error: --jobs must be >= 1, got {args.jobs}\n")
+        return 2
     if args.out is not None:
         args.out.mkdir(parents=True, exist_ok=True)
-    for exp_id in targets:
-        result = (
-            run_experiment(exp_id)
-            if exp_id in _CONTEXT_FREE
-            else run_experiment(exp_id, ctx=ctx)
-        )
-        text = result.render()
+    # consume lazily: each experiment is written/printed the moment it
+    # finishes, so an interrupt or failure keeps the completed ones
+    for exp_id, text in iter_many(
+        targets, seed=args.seed, dt=args.dt, jobs=args.jobs
+    ):
         if args.out is not None:
             (args.out / f"{exp_id}.txt").write_text(text + "\n", encoding="utf-8")
             out.write(f"wrote {args.out / (exp_id + '.txt')}\n")

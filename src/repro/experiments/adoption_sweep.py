@@ -23,9 +23,9 @@ from repro.experiments.context import T0_WINDOW
 from repro.gridsim import (
     FaultModel,
     GridConfig,
-    GridSimulator,
     SiteConfig,
     run_strategy_on_grid,
+    warmed_grid,
 )
 from repro.util.tables import Table, format_float, format_seconds
 
@@ -82,8 +82,9 @@ def run(
     )
 
     def execute(n_tasks: int, strategy, label: str) -> float:
-        grid = GridSimulator(config, seed=seed)
-        grid.warm_up(4 * 3600.0)
+        # every fleet forks the same 4-hour-warmed master (identical to
+        # warming a fresh same-seed grid, paid once)
+        grid = warmed_grid(config, seed=seed, duration=4 * 3600.0)
         outcome = run_strategy_on_grid(
             grid,
             strategy,

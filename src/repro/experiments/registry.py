@@ -27,7 +27,12 @@ from repro.experiments import (
 )
 from repro.experiments.base import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "list_experiments", "run_experiment"]
+__all__ = ["CONTEXT_FREE", "EXPERIMENTS", "list_experiments", "run_experiment"]
+
+#: experiments that need no ReproContext (they build their own DES grids).
+#: abl-adopt left this set when it gained the surface-calibrated delayed
+#: fleet, which reads the analytic 2006-IX model from the context.
+CONTEXT_FREE = frozenset({"val-des"})
 
 #: experiment id -> run callable (every table/figure + validations)
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {

@@ -23,7 +23,14 @@ substitute: an event-driven simulator with
 
 from repro.gridsim.events import Simulator
 from repro.gridsim.faults import FaultModel
-from repro.gridsim.grid import GridConfig, GridSimulator, SiteConfig, default_grid_config
+from repro.gridsim.grid import (
+    GridConfig,
+    GridSimulator,
+    GridSnapshot,
+    SiteConfig,
+    default_grid_config,
+    warmed_grid,
+)
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.metrics import GridMonitor, GridSample
 from repro.gridsim.outages import OutageProcess
@@ -36,7 +43,9 @@ __all__ = [
     "GridConfig",
     "SiteConfig",
     "GridSimulator",
+    "GridSnapshot",
     "default_grid_config",
+    "warmed_grid",
     "Job",
     "JobState",
     "GridMonitor",

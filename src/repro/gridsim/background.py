@@ -5,9 +5,25 @@ workload of thousands of users (§3.1).  Each site gets an independent
 Poisson job stream with log-normal runtimes, with optional diurnal rate
 modulation (by thinning), tuned so that the site hovers near a target
 utilisation — the regime where waiting times are heavy-tailed.
+
+The stream is generated in *chunks*: instead of three scalar RNG calls
+and one ``schedule`` per arrival, each refill block-draws ``chunk_size``
+exponential gaps, the thinning uniforms and the log-normal runtimes with
+numpy, bulk-schedules the accepted arrivals via
+:meth:`~repro.gridsim.events.Simulator.schedule_many`, and leaves a
+single refill event at the last drawn arrival time.  The process law is
+unchanged — gaps stay i.i.d. exponential at the peak rate, thinning
+still compares a uniform against ``rate(t)/peak`` at the arrival time,
+runtimes stay log-normal — but the per-arrival Python cost collapses to
+one heap pop plus one enqueue.  Fixed-seed draw *sequences* differ from
+the historical per-arrival loop; ``tests/test_background_equivalence.py``
+keeps that loop as the law oracle.
 """
 
 from __future__ import annotations
+
+from collections import deque
+from itertools import repeat
 
 import numpy as np
 
@@ -17,7 +33,12 @@ from repro.gridsim.site import ComputingElement
 from repro.traces.generator import DiurnalProfile
 from repro.util.validation import check_in_range, check_positive
 
-__all__ = ["BackgroundLoad"]
+__all__ = ["BackgroundLoad", "DEFAULT_CHUNK"]
+
+#: arrivals pre-drawn per refill; large enough to amortise the numpy
+#: calls, small enough that a warmed grid's pending stream stays cheap
+#: to snapshot/clone
+DEFAULT_CHUNK = 256
 
 
 class BackgroundLoad:
@@ -33,10 +54,13 @@ class BackgroundLoad:
         runtime_median: float = 3600.0,
         runtime_sigma: float = 0.8,
         diurnal: DiurnalProfile | None = None,
+        chunk_size: int = DEFAULT_CHUNK,
     ) -> None:
         check_in_range("utilization", utilization, 0.0, 1.5, inclusive=(False, True))
         check_positive("runtime_median", runtime_median)
         check_positive("runtime_sigma", runtime_sigma)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         self.site = site
         self.sim = sim
         self.rng = rng
@@ -44,7 +68,12 @@ class BackgroundLoad:
         self.runtime_median = runtime_median
         self.runtime_sigma = runtime_sigma
         self.diurnal = diurnal
+        self.chunk_size = int(chunk_size)
         self.jobs_generated = 0
+        self._log_median = float(np.log(runtime_median))
+        #: runtimes of accepted arrivals already scheduled, consumed FIFO
+        #: by :meth:`_deliver` (arrival events fire in schedule order)
+        self._runtimes: deque[float] = deque()
         # mean of lognormal = median * exp(sigma^2/2)
         mean_runtime = runtime_median * float(np.exp(runtime_sigma**2 / 2.0))
         #: base arrival rate achieving the target utilisation (jobs/s)
@@ -56,24 +85,36 @@ class BackgroundLoad:
 
     def start(self) -> None:
         """Begin generating arrivals (call once)."""
-        self._schedule_next()
+        self._refill()
 
-    def _schedule_next(self) -> None:
-        gap = float(self.rng.exponential(1.0 / self._peak_rate))
-        self.sim.schedule(gap, self._arrival)
-
-    def _arrival(self) -> None:
-        # thinning: accept with probability rate(t)/peak_rate
-        accept = True
+    def _refill(self) -> None:
+        """Draw and schedule the next chunk of arrivals in one block."""
+        rng = self.rng
+        n = self.chunk_size
+        gaps = rng.exponential(1.0 / self._peak_rate, size=n)
+        times = self.sim.now + np.cumsum(gaps)
         if self.diurnal is not None:
-            rate_now = self.rate * float(self.diurnal.factor(self.sim.now))
-            accept = self.rng.random() < rate_now / self._peak_rate
-        if accept:
-            runtime = float(
-                self.rng.lognormal(np.log(self.runtime_median), self.runtime_sigma)
+            # thinning: accept with probability rate(t)/peak_rate
+            uniforms = rng.random(n)
+            accept = uniforms * self._peak_rate < self.rate * self.diurnal.factor(
+                times
             )
-            job = Job(runtime=runtime, tag="background")
-            job.submit_time = self.sim.now
-            self.site.enqueue(job)
-            self.jobs_generated += 1
-        self._schedule_next()
+            accepted = times[accept]
+        else:
+            accepted = times
+        runtimes = rng.lognormal(
+            self._log_median, self.runtime_sigma, size=accepted.size
+        )
+        self._runtimes.extend(runtimes.tolist())
+        # one shared bound-method callback for the whole chunk: arrival
+        # events fire in time order (FIFO among ties), matching the
+        # _runtimes queue; the refill rides at the last *drawn* time so
+        # the next chunk continues the gap sequence seamlessly
+        self.sim.schedule_many(accepted.tolist(), repeat(self._deliver))
+        self.sim.schedule_at(float(times[-1]), self._refill)
+
+    def _deliver(self) -> None:
+        job = Job(runtime=self._runtimes.popleft(), tag="background")
+        job.submit_time = self.sim._now
+        self.site.enqueue(job)
+        self.jobs_generated += 1

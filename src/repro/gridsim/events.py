@@ -11,31 +11,55 @@ a C-level lexicographic pass, an order of magnitude cheaper than the
 ``dataclass(order=True)`` ``__lt__`` the kernel used to pay on every
 sift, while the slotted :class:`Event` handle keeps O(1) lazy
 cancellation and the ``(time, seq)`` FIFO tie-break unchanged.
+
+Two bulk facilities keep the kernel cheap under heavy load:
+
+* :meth:`Simulator.schedule_many` pushes a pre-sorted batch of events in
+  one tight loop (used by the chunked background-load streams);
+* cancelled husks are compacted away once they dominate the heap, so
+  long campaigns that cancel many timers (probe timeouts, strategy
+  resubmission timers) do not drag an ever-growing heap behind them.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable
+from typing import Callable, Iterable
 
 __all__ = ["Event", "Simulator"]
+
+#: never compact below this many husks — small heaps are cheap anyway
+_COMPACT_MIN = 1024
+#: compact when cancelled husks exceed this fraction of the heap
+_COMPACT_FRACTION = 0.5
 
 
 class Event:
     """A scheduled callback; ordered in the queue by (time, sequence number)."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "sim")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], None]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[[], None],
+        sim: "Simulator | None" = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
         """Mark the event so the kernel skips it (O(1) lazy deletion)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.sim is not None:
+            self.sim._note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = " cancelled" if self.cancelled else ""
@@ -50,6 +74,8 @@ class Simulator:
         self._seq = itertools.count()
         self._now = 0.0
         self._processed = 0
+        self._cancelled = 0
+        self._compactions = 0
 
     @property
     def now(self) -> float:
@@ -66,11 +92,24 @@ class Simulator:
         """Number of events still queued (including cancelled husks)."""
         return len(self._heap)
 
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled husks still sitting in the heap (diagnostics)."""
+        return self._cancelled
+
+    @property
+    def compactions(self) -> int:
+        """Number of heap compaction passes performed (diagnostics)."""
+        return self._compactions
+
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` after ``delay`` seconds of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback)
+        time = self._now + delay
+        ev = Event(time, next(self._seq), callback, self)
+        heapq.heappush(self._heap, (time, ev.seq, ev))
+        return ev
 
     def schedule_at(self, time: float, callback: Callable[[], None]) -> Event:
         """Run ``callback`` at absolute virtual time ``time``."""
@@ -78,21 +117,81 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule into the past (t={time} < now={self._now})"
             )
-        ev = Event(time, next(self._seq), callback)
+        ev = Event(time, next(self._seq), callback, self)
         heapq.heappush(self._heap, (time, ev.seq, ev))
         return ev
+
+    def schedule_many(
+        self,
+        times: Iterable[float],
+        callbacks: Iterable[Callable[[], None]],
+    ) -> list[Event]:
+        """Bulk-schedule callbacks at absolute times (one tight loop).
+
+        ``times`` and ``callbacks`` are consumed pairwise; sequence
+        numbers are assigned in iteration order, so equal-time entries
+        keep the usual FIFO tie-break.  Used by the chunked background
+        streams, where per-call :meth:`schedule_at` overhead would undo
+        the benefit of block-drawing the randomness.
+        """
+        now = self._now
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
+        events: list[Event] = []
+        append = events.append
+        for time, callback in zip(times, callbacks):
+            if time < now:
+                raise ValueError(
+                    f"cannot schedule into the past (t={time} < now={now})"
+                )
+            ev = Event(time, next(seq), callback, self)
+            append(ev)
+            push(heap, (time, ev.seq, ev))
+        return events
+
+    # -- husk compaction -----------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+        if (
+            self._cancelled >= _COMPACT_MIN
+            and self._cancelled >= _COMPACT_FRACTION * len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled husks and re-heapify, in place.
+
+        The heap list is mutated via slice assignment so that the local
+        ``heap`` references held by a running :meth:`run_until` /
+        :meth:`run_until_idle` loop keep seeing the compacted queue.
+        """
+        heap = self._heap
+        heap[:] = [entry for entry in heap if not entry[2].cancelled]
+        heapq.heapify(heap)
+        self._cancelled = 0
+        self._compactions += 1
+
+    # -- event loop ----------------------------------------------------------
 
     def run_until(self, t_end: float) -> None:
         """Process events with ``time <= t_end``; clock ends at ``t_end``."""
         if t_end < self._now:
             raise ValueError(f"t_end={t_end} is before now={self._now}")
         heap = self._heap
+        pop = heapq.heappop
         while heap and heap[0][0] <= t_end:
-            time, _, ev = heapq.heappop(heap)
+            time, _, ev = pop(heap)
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = time
             self._processed += 1
+            # detach before running: a late cancel() on a fired event
+            # (strategy cleanup cancels all its timers) must not count
+            # as a pending husk
+            ev.sim = None
             ev.callback()
         self._now = t_end
 
@@ -103,6 +202,7 @@ class Simulator:
         while heap:
             time, _, ev = heapq.heappop(heap)
             if ev.cancelled:
+                self._cancelled -= 1
                 continue
             count += 1
             if count > max_events:
@@ -111,4 +211,5 @@ class Simulator:
                 )
             self._now = time
             self._processed += 1
+            ev.sim = None
             ev.callback()

