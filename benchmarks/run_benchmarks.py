@@ -94,16 +94,16 @@ def baseline_payload(results: dict) -> dict:
     }
 
 
-def compare(results: dict, baseline: dict, threshold: float) -> bool:
-    """Print a comparison table; return False when a regression exceeds it."""
+def compare(results: dict, baseline: dict, threshold: float) -> tuple[bool, str]:
+    """Build the comparison table; (ok, text) — ok is False on regression."""
     base = baseline.get("benchmarks", {})
     ok = True
     width = max((len(n) for n in results), default=10) + 2
-    print(f"{'benchmark'.ljust(width)}{'mean':>12}{'baseline':>12}{'ratio':>8}")
+    lines = [f"{'benchmark'.ljust(width)}{'mean':>12}{'baseline':>12}{'ratio':>8}"]
     for name, stats in results.items():
         ref = base.get(name)
         if ref is None:
-            print(f"{name.ljust(width)}{stats['mean']:12.6f}{'new':>12}{'':>8}")
+            lines.append(f"{name.ljust(width)}{stats['mean']:12.6f}{'new':>12}{'':>8}")
             continue
         ratio = stats["mean"] / ref["mean"] if ref["mean"] > 0 else float("inf")
         flag = ""
@@ -112,14 +112,14 @@ def compare(results: dict, baseline: dict, threshold: float) -> bool:
             ok = False
         elif ratio < 1.0 / threshold:
             flag = "  improved"
-        print(
+        lines.append(
             f"{name.ljust(width)}{stats['mean']:12.6f}{ref['mean']:12.6f}"
             f"{ratio:8.2f}{flag}"
         )
     missing = sorted(set(base) - set(results))
     for name in missing:
-        print(f"{name.ljust(width)}{'absent from this run':>24}")
-    return ok
+        lines.append(f"{name.ljust(width)}{'absent from this run':>24}")
+    return ok, "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -150,6 +150,15 @@ def main(argv: list[str] | None = None) -> int:
         default=1.5,
         help="mean-time ratio above which a benchmark counts as regressed",
     )
+    parser.add_argument(
+        "--report",
+        type=Path,
+        default=None,
+        help=(
+            "also write the comparison-vs-baseline table to this file "
+            "(uploaded as a workflow artifact by the CI bench smoke)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     results = distill(run_pytest_benchmarks([Path(s) for s in args.suite]))
@@ -163,16 +172,24 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(baseline_payload(results), indent=2) + "\n",
             encoding="utf-8",
         )
-        print(f"baseline written: {args.baseline} ({len(results)} benchmarks)")
+        message = f"baseline written: {args.baseline} ({len(results)} benchmarks)"
+        print(message)
+        if args.report is not None:
+            args.report.write_text(message + "\n", encoding="utf-8")
         return 0
 
     baseline = json.loads(args.baseline.read_text(encoding="utf-8"))
-    ok = compare(results, baseline, args.threshold)
-    if not ok:
-        print(f"\nregressions above {args.threshold:.2f}x — see table")
-        return 1
-    print("\nno regressions")
-    return 0
+    ok, table = compare(results, baseline, args.threshold)
+    verdict = (
+        "no regressions"
+        if ok
+        else f"regressions above {args.threshold:.2f}x — see table"
+    )
+    print(table)
+    print(f"\n{verdict}")
+    if args.report is not None:
+        args.report.write_text(table + "\n\n" + verdict + "\n", encoding="utf-8")
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

@@ -1,17 +1,26 @@
 """Benchmarks: DES validation, fleet-adoption extension, raw DES substrate.
 
 The substrate benches (warm-up, warmed fork, probe campaign, adoption
-fleet) isolate the kernels the ISSUE-2 overhaul targets, so the gridsim
-speedup is tracked in ``BENCH_core.json`` like the PR 1 kernels; the two
-experiment benches measure the end-to-end wall time of ``val-des`` and
-``abl-adopt``.
+fleet) isolate the kernels the ISSUE-2 overhaul targeted and the ISSUE-3
+vectorised site queues accelerate, so the gridsim speedup is tracked in
+``BENCH_core.json`` like the PR 1 kernels; the two experiment benches
+measure the end-to-end wall time of ``val-des`` and ``abl-adopt``.  The
+two scenario benches (saturated site, outage day) stress the regimes
+where the vectorised background lane does the most reconciliation work:
+an unboundedly growing queue, and gate toggles with running-job kills.
 """
+
+import numpy as np
 
 from repro.core.strategies import MultipleSubmission
 from repro.experiments import run_experiment
 from repro.gridsim import (
+    FaultModel,
+    GridConfig,
     GridSimulator,
+    OutageProcess,
     ProbeExperiment,
+    SiteConfig,
     default_grid_config,
     run_strategy_on_grid,
     warmed_grid,
@@ -81,6 +90,61 @@ def test_bench_probe_campaign(benchmark):
         return ProbeExperiment(grid, n_slots=20).run(86_400.0)
 
     trace = benchmark.pedantic(campaign, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(trace) > 100
+
+
+def test_bench_saturated_site(benchmark):
+    """Scenario: a 64-core site at utilisation 1.1 for three simulated days.
+
+    The queue grows without bound, so every telemetry reconciliation
+    walks a long backlog — the worst case for the vectorised lane's lazy
+    commits.
+    """
+    cfg = GridConfig(
+        sites=(SiteConfig("hot", 64, utilization=1.1, runtime_median=1800.0),),
+        faults=FaultModel(),
+    )
+
+    def run():
+        grid = GridSimulator(cfg, seed=11)
+        grid.warm_up(3 * 86_400.0)
+        return grid
+
+    grid = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert grid.total_queue_length() > 100
+    assert grid.utilization() == 1.0
+
+
+def test_bench_outage_day(benchmark):
+    """Scenario: a probe-day on a grid whose sites cycle through outages.
+
+    Outage toggles force the background lane to reconcile and re-aim
+    client wakes; running-job kills reshuffle the core free-time heap.
+    """
+    cfg = GridConfig(
+        sites=(
+            SiteConfig("a", 16, utilization=0.9, runtime_median=1800.0),
+            SiteConfig("b", 32, utilization=0.9, runtime_median=2400.0),
+            SiteConfig("c", 24, utilization=0.95, runtime_median=3600.0),
+        ),
+        faults=FaultModel(p_lost=0.02, p_stuck=0.02),
+    )
+
+    def run():
+        grid = GridSimulator(cfg, seed=13)
+        for k, site in enumerate(grid.sites):
+            OutageProcess(
+                site,
+                grid.sim,
+                np.random.default_rng(500 + k),
+                mean_uptime=20_000.0,
+                mean_downtime=6_000.0,
+                kill_running=0.5,
+            ).start()
+        grid.warm_up(3600.0)
+        return ProbeExperiment(grid, n_slots=12, timeout=6000.0).run(86_400.0)
+
+    trace = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     assert len(trace) > 100
 
 

@@ -24,8 +24,8 @@ from repro.gridsim import (
     FaultModel,
     GridConfig,
     SiteConfig,
-    run_strategy_on_grid,
-    warmed_grid,
+    run_strategy_batch,
+    warmed_snapshot,
 )
 from repro.util.tables import Table, format_float, format_seconds
 
@@ -58,12 +58,18 @@ def run(
     b: int = 3,
     runtime: float = 1800.0,
     window: float = 6 * 3600.0,
+    jobs: int | None = None,
 ) -> ExperimentResult:
     """Sweep the number of tasks concurrently using burst submission.
 
     Each fleet size runs on a fresh same-seed grid; tasks arrive inside a
     fixed window, so larger fleets inject proportionally more load.  A
     single-submission fleet of the largest size is the control.
+
+    All fleets fork the same 4-hour-warmed snapshot (identical to warming
+    a fresh same-seed grid, paid once) and are fully independent, so with
+    ``jobs > 1`` (default: ``REPRO_INTRA_JOBS``) they fan out over a
+    process pool with byte-identical output.
     """
     if b < 1:
         raise ValueError(f"b must be >= 1, got {b}")
@@ -81,36 +87,13 @@ def run(
         ],
     )
 
-    def execute(n_tasks: int, strategy, label: str) -> float:
-        # every fleet forks the same 4-hour-warmed master (identical to
-        # warming a fresh same-seed grid, paid once)
-        grid = warmed_grid(config, seed=seed, duration=4 * 3600.0)
-        outcome = run_strategy_on_grid(
-            grid,
-            strategy,
-            n_tasks,
-            task_interval=window / n_tasks,
-            runtime=runtime,
-            horizon=window + 100_000.0,
-        )
-        table.add_row(
-            n_tasks,
-            label,
-            format_seconds(outcome.mean_j),
-            format_float(outcome.mean_jobs, 2),
-            grid.total_queue_length(),
-            outcome.gave_up,
-        )
-        return outcome.mean_j
-
-    control = execute(
-        fleet_sizes[-1], SingleResubmission(t_inf=4000.0), "single (control)"
-    )
-    means = [
-        execute(n, MultipleSubmission(b=b, t_inf=4000.0), f"multiple b={b}")
+    fleets: list[tuple[int, object, str]] = [
+        (fleet_sizes[-1], SingleResubmission(t_inf=4000.0), "single (control)")
+    ]
+    fleets += [
+        (n, MultipleSubmission(b=b, t_inf=4000.0), f"multiple b={b}")
         for n in fleet_sizes
     ]
-
     if ctx is not None:
         # paper-calibrated delayed fleet: the whole (t0, t∞) surface of the
         # 2006-IX analytic model in one batched request, scaled to this
@@ -119,11 +102,43 @@ def run(
             ctx.model("2006-IX"), t0_min=T0_WINDOW[0], t0_max=T0_WINDOW[1]
         )
         scale = max(1.0, 4000.0 / opt.t_inf)
-        execute(
-            fleet_sizes[-1],
-            DelayedResubmission(t0=scale * opt.t0, t_inf=scale * opt.t_inf),
-            f"delayed (t0={scale * opt.t0:.0f}s)",
+        fleets.append(
+            (
+                fleet_sizes[-1],
+                DelayedResubmission(t0=scale * opt.t0, t_inf=scale * opt.t_inf),
+                f"delayed (t0={scale * opt.t0:.0f}s)",
+            )
         )
+
+    snap = warmed_snapshot(config, seed=seed, duration=4 * 3600.0)
+    outcomes = run_strategy_batch(
+        snap,
+        [
+            (
+                strategy,
+                n_tasks,
+                dict(
+                    task_interval=window / n_tasks,
+                    runtime=runtime,
+                    horizon=window + 100_000.0,
+                ),
+            )
+            for n_tasks, strategy, _ in fleets
+        ],
+        jobs=jobs,
+    )
+    for (n_tasks, _, label), (outcome, queued_at_end) in zip(fleets, outcomes):
+        table.add_row(
+            n_tasks,
+            label,
+            format_seconds(outcome.mean_j),
+            format_float(outcome.mean_jobs, 2),
+            queued_at_end,
+            outcome.gave_up,
+        )
+
+    control = outcomes[0][0].mean_j
+    means = [o.mean_j for o, _ in outcomes[1 : 1 + len(fleet_sizes)]]
 
     erosion = means[-1] / means[0]
     notes = [

@@ -28,14 +28,21 @@ from repro.gridsim.grid import (
     GridSimulator,
     GridSnapshot,
     SiteConfig,
+    configure_warm_cache,
     default_grid_config,
     warmed_grid,
+    warmed_snapshot,
 )
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.metrics import GridMonitor, GridSample
 from repro.gridsim.outages import OutageProcess
 from repro.gridsim.probes import ProbeExperiment
-from repro.gridsim.client import StrategyOutcome, run_strategy_on_grid
+from repro.gridsim.site import ComputingElement, VectorComputingElement
+from repro.gridsim.client import (
+    StrategyOutcome,
+    run_strategy_batch,
+    run_strategy_on_grid,
+)
 
 __all__ = [
     "Simulator",
@@ -44,8 +51,12 @@ __all__ = [
     "SiteConfig",
     "GridSimulator",
     "GridSnapshot",
+    "ComputingElement",
+    "VectorComputingElement",
+    "configure_warm_cache",
     "default_grid_config",
     "warmed_grid",
+    "warmed_snapshot",
     "Job",
     "JobState",
     "GridMonitor",
@@ -53,5 +64,6 @@ __all__ = [
     "OutageProcess",
     "ProbeExperiment",
     "StrategyOutcome",
+    "run_strategy_batch",
     "run_strategy_on_grid",
 ]

@@ -6,18 +6,29 @@ Poisson job stream with log-normal runtimes, with optional diurnal rate
 modulation (by thinning), tuned so that the site hovers near a target
 utilisation — the regime where waiting times are heavy-tailed.
 
-The stream is generated in *chunks*: instead of three scalar RNG calls
-and one ``schedule`` per arrival, each refill block-draws ``chunk_size``
-exponential gaps, the thinning uniforms and the log-normal runtimes with
-numpy, bulk-schedules the accepted arrivals via
-:meth:`~repro.gridsim.events.Simulator.schedule_many`, and leaves a
-single refill event at the last drawn arrival time.  The process law is
-unchanged — gaps stay i.i.d. exponential at the peak rate, thinning
-still compares a uniform against ``rate(t)/peak`` at the arrival time,
-runtimes stay log-normal — but the per-arrival Python cost collapses to
-one heap pop plus one enqueue.  Fixed-seed draw *sequences* differ from
-the historical per-arrival loop; ``tests/test_background_equivalence.py``
-keeps that loop as the law oracle.
+The stream is generated in *chunks*: each refill block-draws
+``chunk_size`` exponential gaps, the thinning uniforms and the
+log-normal runtimes with numpy, and leaves a single refill event at the
+last drawn arrival time.  What happens to the accepted arrivals depends
+on the site engine:
+
+* a :class:`~repro.gridsim.site.VectorComputingElement` takes the whole
+  chunk as arrays (:meth:`feed_background`) — **zero events, zero**
+  :class:`~repro.gridsim.jobs.Job` **objects per background job**; the
+  site's Lindley lane resolves start/completion times lazily;
+* the event-driven oracle keeps the PR 2 path: one shared-callback
+  arrival event per accepted job via
+  :meth:`~repro.gridsim.events.Simulator.schedule_many`, runtimes riding
+  a FIFO deque.
+
+The process law is identical either way — gaps stay i.i.d. exponential
+at the peak rate, thinning still compares a uniform against
+``rate(t)/peak`` at the arrival time, runtimes stay log-normal, and the
+RNG consumption order is byte-for-byte the same, so the two engines see
+*identical* (arrival, runtime) sequences for a given seed.
+``tests/test_background_equivalence.py`` keeps the historical
+per-arrival loop as the law oracle; ``tests/test_site_engine_equivalence.py``
+pins the two engines against each other.
 """
 
 from __future__ import annotations
@@ -29,7 +40,6 @@ import numpy as np
 
 from repro.gridsim.events import Simulator
 from repro.gridsim.jobs import Job
-from repro.gridsim.site import ComputingElement
 from repro.traces.generator import DiurnalProfile
 from repro.util.validation import check_in_range, check_positive
 
@@ -46,7 +56,7 @@ class BackgroundLoad:
 
     def __init__(
         self,
-        site: ComputingElement,
+        site,
         sim: Simulator,
         rng: np.random.Generator,
         *,
@@ -69,10 +79,13 @@ class BackgroundLoad:
         self.runtime_sigma = runtime_sigma
         self.diurnal = diurnal
         self.chunk_size = int(chunk_size)
-        self.jobs_generated = 0
+        #: whether the site takes chunks as arrays (the vectorised lane)
+        self._bulk = hasattr(site, "feed_background")
+        self._generated = 0
         self._log_median = float(np.log(runtime_median))
         #: runtimes of accepted arrivals already scheduled, consumed FIFO
-        #: by :meth:`_deliver` (arrival events fire in schedule order)
+        #: by :meth:`_deliver` (arrival events fire in schedule order;
+        #: unused on the vectorised lane)
         self._runtimes: deque[float] = deque()
         # mean of lognormal = median * exp(sigma^2/2)
         mean_runtime = runtime_median * float(np.exp(runtime_sigma**2 / 2.0))
@@ -82,6 +95,13 @@ class BackgroundLoad:
         self._peak_rate = self.rate * (
             1.0 + (diurnal.amplitude if diurnal is not None else 0.0)
         )
+
+    @property
+    def jobs_generated(self) -> int:
+        """Arrivals delivered to the site so far (lazy on the vector lane)."""
+        if self._bulk:
+            return self.site.background_delivered()
+        return self._generated
 
     def start(self) -> None:
         """Begin generating arrivals (call once)."""
@@ -105,16 +125,22 @@ class BackgroundLoad:
         runtimes = rng.lognormal(
             self._log_median, self.runtime_sigma, size=accepted.size
         )
-        self._runtimes.extend(runtimes.tolist())
-        # one shared bound-method callback for the whole chunk: arrival
-        # events fire in time order (FIFO among ties), matching the
-        # _runtimes queue; the refill rides at the last *drawn* time so
-        # the next chunk continues the gap sequence seamlessly
-        self.sim.schedule_many(accepted.tolist(), repeat(self._deliver))
+        if self._bulk:
+            # the vector lane takes the whole chunk as arrays: no events,
+            # no Job objects — the site commits starts lazily
+            self.site.feed_background(accepted.tolist(), runtimes.tolist())
+        else:
+            self._runtimes.extend(runtimes.tolist())
+            # one shared bound-method callback for the whole chunk: arrival
+            # events fire in time order (FIFO among ties), matching the
+            # _runtimes queue
+            self.sim.schedule_many(accepted.tolist(), repeat(self._deliver))
+        # the refill rides at the last *drawn* time so the next chunk
+        # continues the gap sequence seamlessly
         self.sim.schedule_at(float(times[-1]), self._refill)
 
     def _deliver(self) -> None:
         job = Job(runtime=self._runtimes.popleft(), tag="background")
         job.submit_time = self.sim._now
         self.site.enqueue(job)
-        self.jobs_generated += 1
+        self._generated += 1

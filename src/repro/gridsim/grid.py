@@ -9,6 +9,7 @@ start events, advance time.
 from __future__ import annotations
 
 import copy
+import os
 import pickle
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
@@ -20,7 +21,7 @@ from repro.gridsim.background import BackgroundLoad
 from repro.gridsim.events import Simulator
 from repro.gridsim.faults import FaultModel
 from repro.gridsim.jobs import Job, JobState
-from repro.gridsim.site import ComputingElement
+from repro.gridsim.site import ComputingElement, VectorComputingElement
 from repro.gridsim.wms import WorkloadManager
 from repro.traces.generator import DiurnalProfile
 from repro.util.rng import RngLike, as_rng, spawn_rngs
@@ -31,9 +32,17 @@ __all__ = [
     "GridConfig",
     "GridSimulator",
     "GridSnapshot",
+    "configure_warm_cache",
     "default_grid_config",
     "warmed_grid",
+    "warmed_snapshot",
 ]
+
+#: site engine selected by :attr:`GridConfig.site_engine`
+_SITE_ENGINES = {
+    "vector": VectorComputingElement,
+    "event": ComputingElement,
+}
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,10 @@ class GridConfig:
         Outlier-producing fault channels.
     diurnal_amplitude:
         Amplitude of the shared daily load modulation (0 disables).
+    site_engine:
+        ``"vector"`` (default) runs sites on the two-lane
+        :class:`~repro.gridsim.site.VectorComputingElement`;
+        ``"event"`` keeps the fully event-driven oracle.
     """
 
     sites: tuple[SiteConfig, ...]
@@ -87,10 +100,16 @@ class GridConfig:
     ranking_noise: float = 0.3
     faults: FaultModel = field(default_factory=FaultModel)
     diurnal_amplitude: float = 0.0
+    site_engine: str = "vector"
 
     def __post_init__(self) -> None:
         if not self.sites:
             raise ValueError("grid needs at least one site")
+        if self.site_engine not in _SITE_ENGINES:
+            raise ValueError(
+                f"unknown site_engine {self.site_engine!r}; "
+                f"available: {', '.join(_SITE_ENGINES)}"
+            )
 
 
 def default_grid_config(
@@ -140,10 +159,9 @@ class GridSimulator:
             if config.diurnal_amplitude > 0.0
             else None
         )
+        site_cls = _SITE_ENGINES[config.site_engine]
         self.sites = [
-            ComputingElement(
-                sc.name, sc.n_cores, self.sim, on_start=self._notify_start
-            )
+            site_cls(sc.name, sc.n_cores, self.sim, on_start=self._notify_start)
             for sc in config.sites
         ]
         self.wms = WorkloadManager(
@@ -322,6 +340,11 @@ class GridSnapshot:
             self._payload = None
             self._master = copy.deepcopy(grid)
 
+    @property
+    def nbytes(self) -> int:
+        """Serialised size (0 for the deep-copy fallback, which can't tell)."""
+        return len(self._payload) if self._payload is not None else 0
+
     def restore(self) -> GridSimulator:
         """Fork a runnable grid from the snapshot (repeatable)."""
         if self._payload is not None:
@@ -330,9 +353,86 @@ class GridSnapshot:
 
 
 #: warmed-grid snapshots keyed by (config, seed, duration); the cache
-#: holds frozen state only — warmed_grid() hands out restored forks
+#: holds frozen state only — warmed_grid() hands out restored forks.
+#: Bounded both by entry count and by total pickled bytes (LRU), so
+#: many-config campaigns neither thrash a tiny cache nor hoard memory.
 _WARM_CACHE: OrderedDict[tuple, GridSnapshot] = OrderedDict()
-_WARM_CACHE_MAX = 4
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
+
+
+_WARM_CACHE_MAX = _env_int("REPRO_WARM_CACHE_MAX", 16)
+_WARM_CACHE_MAX_BYTES = _env_int("REPRO_WARM_CACHE_BYTES", 256 * 1024 * 1024)
+
+
+def configure_warm_cache(
+    max_entries: int | None = None, max_bytes: int | None = None
+) -> None:
+    """Set the warmed-snapshot cache limits (and evict down to them).
+
+    Defaults come from ``REPRO_WARM_CACHE_MAX`` (entries, default 16)
+    and ``REPRO_WARM_CACHE_BYTES`` (total pickled size, default 256 MiB)
+    read at import time; pass explicit values to override at runtime.
+    """
+    global _WARM_CACHE_MAX, _WARM_CACHE_MAX_BYTES
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        _WARM_CACHE_MAX = int(max_entries)
+    if max_bytes is not None:
+        if max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        _WARM_CACHE_MAX_BYTES = int(max_bytes)
+    _warm_cache_evict()
+
+
+def _warm_cache_evict() -> None:
+    """Drop least-recently-used snapshots past the entry/byte budgets."""
+    total = sum(snap.nbytes for snap in _WARM_CACHE.values())
+    while _WARM_CACHE and (
+        len(_WARM_CACHE) > _WARM_CACHE_MAX or total > _WARM_CACHE_MAX_BYTES
+    ):
+        _, evicted = _WARM_CACHE.popitem(last=False)
+        total -= evicted.nbytes
+
+
+def warmed_snapshot(
+    config: GridConfig,
+    seed: int,
+    duration: float = 6 * 3600.0,
+) -> GridSnapshot:
+    """The frozen warmed state behind :func:`warmed_grid` (integer seeds).
+
+    Experiments that fork several same-seed grids (``val-des`` executes
+    each strategy on one, ``abl-adopt`` one per fleet) grab the snapshot
+    once and :meth:`~GridSnapshot.restore` per execution — including in
+    worker processes, where shipping the pickled payload is far cheaper
+    than re-warming.
+    """
+    check_positive("duration", duration)
+    if not isinstance(seed, int):
+        raise TypeError(
+            f"warmed_snapshot caches integer seeds only, got {type(seed).__name__}"
+        )
+    key = (config, int(seed), float(duration))
+    snap = _WARM_CACHE.get(key)
+    if snap is None:
+        master = GridSimulator(config, seed=seed)
+        master.warm_up(duration)
+        snap = master.snapshot()
+        _WARM_CACHE[key] = snap
+        _warm_cache_evict()
+    else:
+        _WARM_CACHE.move_to_end(key)
+    return snap
 
 
 def warmed_grid(
@@ -345,8 +445,7 @@ def warmed_grid(
     The first call for a given ``(config, seed, duration)`` builds and
     warms a master grid; subsequent calls fork bit-identical clones of
     it, so experiments that repeatedly need "a fresh grid with the same
-    seed, warmed the same way" (``val-des`` executes each strategy on
-    one, ``abl-adopt`` one per fleet) pay the warm-up once.  Clones are
+    seed, warmed the same way" pay the warm-up once.  Clones are
     indistinguishable from independently warmed grids because
     construction and warm-up are deterministic given the seed.
 
@@ -358,15 +457,4 @@ def warmed_grid(
         grid = GridSimulator(config, seed=seed)
         grid.warm_up(duration)
         return grid
-    key = (config, int(seed), float(duration))
-    snap = _WARM_CACHE.get(key)
-    if snap is None:
-        master = GridSimulator(config, seed=seed)
-        master.warm_up(duration)
-        snap = master.snapshot()
-        _WARM_CACHE[key] = snap
-        while len(_WARM_CACHE) > _WARM_CACHE_MAX:
-            _WARM_CACHE.popitem(last=False)
-        return master  # pristine and already warmed; state is frozen in snap
-    _WARM_CACHE.move_to_end(key)
-    return snap.restore()
+    return warmed_snapshot(config, seed, duration).restore()

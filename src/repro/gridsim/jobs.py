@@ -52,6 +52,11 @@ class Job:
         ``/bin/hostname`` payload) so that only latency is measured.
     submit_time / start_time / end_time:
         Lifecycle timestamps in virtual seconds (NaN until reached).
+    queue_time:
+        Instant the job entered its site's batch queue (NaN before
+        dispatch).  The FIFO position of a client job among the
+        vectorised background lane's pending arrivals is decided by this
+        timestamp, so both site engines stamp it on enqueue.
     site:
         Name of the computing element the job was dispatched to.
     tag:
@@ -64,6 +69,7 @@ class Job:
     submit_time: float = float("nan")
     start_time: float = float("nan")
     end_time: float = float("nan")
+    queue_time: float = float("nan")
     site: str = ""
     tag: str = ""
     #: completion Event while RUNNING (owned by the executing site)

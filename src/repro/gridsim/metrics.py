@@ -35,6 +35,11 @@ class GridSample:
         ``busy_cores / total_cores``.
     jobs_submitted:
         Cumulative client submissions at sample time.
+    jobs_completed:
+        Cumulative completions across all sites (both lanes).  On the
+        vectorised site engine this is a reconciled lazy count — sampling
+        it is one of the interaction points that advances the background
+        lane to the sample time.
     """
 
     time: float
@@ -42,6 +47,7 @@ class GridSample:
     busy_cores: int
     utilization: float
     jobs_submitted: int
+    jobs_completed: int = 0
 
 
 @dataclass
@@ -85,6 +91,7 @@ class GridMonitor:
                 busy_cores=self.grid.total_busy_cores(),
                 utilization=self.grid.utilization(),
                 jobs_submitted=self.grid.jobs_submitted,
+                jobs_completed=sum(s.jobs_completed for s in self.grid.sites),
             )
         )
         self.grid.sim.schedule(self.period, self._tick)

@@ -61,21 +61,19 @@ class OutageProcess:
     def _go_down(self) -> None:
         self.is_down = True
         self.outages_started += 1
-        # close the dispatch gate first, then kill a share of the running
-        # jobs (unscheduled outage semantics); their cores stay idle until
-        # recovery because the gate is closed
-        self.site.dispatch_enabled = False
-        for job in list(self.site.running_jobs.values()):
-            if self.rng.random() < self.kill_running:
-                self.site.cancel(job)
+        # the site closes its dispatch gate first, then kills a share of
+        # the running jobs (unscheduled outage semantics); freed cores
+        # stay idle until recovery because the gate is closed.  Both site
+        # engines implement the hook — the vectorised lane reconciles its
+        # background commits to now before sampling the kills.
+        self.site.begin_outage(self.rng, self.kill_running)
         self.sim.schedule(
             float(self.rng.exponential(self.mean_downtime)), self._come_up
         )
 
     def _come_up(self) -> None:
         self.is_down = False
-        self.site.dispatch_enabled = True
-        self.site._try_start()
+        self.site.end_outage()
         self.sim.schedule(
             float(self.rng.exponential(self.mean_uptime)), self._go_down
         )

@@ -1,15 +1,42 @@
-"""Computing elements: batch queue + worker cores of one grid site."""
+"""Computing elements: batch queue + worker cores of one grid site.
+
+Two engines implement the same site contract:
+
+* :class:`ComputingElement` — the original event-driven FIFO.  Every job
+  (client *and* background) is a :class:`Job` whose start and completion
+  are heap events.  It is kept as the law oracle: the equivalence suite
+  (``tests/test_site_engine_equivalence.py``) replays identical workloads
+  through both engines and compares traces.
+* :class:`VectorComputingElement` — the production two-lane engine.
+  Client-visible jobs (probes, strategy copies, cancellations) keep the
+  exact event-kernel semantics, while anonymous background jobs flow
+  through a vectorised lane: arrival/runtime chunks are fed as arrays and
+  a Lindley-style recurrence over the per-core free-time heap
+  (``start = max(arrival, min free)``, ``free ← start + runtime``)
+  commits whole blocks of start/completion times with no per-job events,
+  advanced lazily to the current sim time and reconciled at every client
+  interaction point.
+
+Both engines support in-queue cancellation (strategy timeouts) and
+mid-run kills (burst copies whose sibling started first), plus the
+outage hooks :meth:`begin_outage` / :meth:`end_outage` used by
+:class:`~repro.gridsim.outages.OutageProcess`.
+"""
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from collections import deque
 from functools import partial
+from heapq import heapify, heapreplace
 from typing import Callable
+
+import numpy as np
 
 from repro.gridsim.events import Event, Simulator
 from repro.gridsim.jobs import Job, JobState
 
-__all__ = ["ComputingElement"]
+__all__ = ["ComputingElement", "VectorComputingElement"]
 
 
 class ComputingElement:
@@ -20,6 +47,11 @@ class ComputingElement:
     behaviour that dominates probe latency.  Cancellation is supported
     both in-queue (strategy timeouts) and mid-run (burst copies whose
     sibling started first).
+
+    This is the fully event-driven engine — every job pays heap events
+    for arrival, start and completion.  Production grids default to
+    :class:`VectorComputingElement`; this class remains the oracle the
+    vectorised lane is verified against.
     """
 
     def __init__(
@@ -60,6 +92,7 @@ class ComputingElement:
             raise ValueError(f"cannot enqueue job in state {job.state}")
         job.state = JobState.QUEUED
         job.site = self.name
+        job.queue_time = self.sim._now
         self.queue.append(job)
         if self.free_cores > 0 and self.dispatch_enabled:
             self._try_start()
@@ -92,6 +125,22 @@ class ComputingElement:
                 self._try_start()
             return True
         return False
+
+    # -- outage hooks ------------------------------------------------------
+
+    def begin_outage(self, rng: np.random.Generator, kill_running: float) -> None:
+        """Close the dispatch gate and kill running jobs w.p. ``kill_running``."""
+        # close the gate first, then kill (unscheduled outage semantics);
+        # freed cores stay idle until recovery because the gate is closed
+        self.dispatch_enabled = False
+        for job in list(self.running_jobs.values()):
+            if rng.random() < kill_running:
+                self.cancel(job)
+
+    def end_outage(self) -> None:
+        """Reopen the dispatch gate and drain the queue."""
+        self.dispatch_enabled = True
+        self._try_start()
 
     # -- internals ---------------------------------------------------------
 
@@ -154,5 +203,410 @@ class ComputingElement:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"CE({self.name}, cores={self.busy_cores}/{self.n_cores}, "
+            f"queued={self.queue_length})"
+        )
+
+
+class VectorComputingElement:
+    """Two-lane computing element: event-kernel clients, vectorised background.
+
+    The background production workload — the overwhelming majority of a
+    grid's traffic — never touches the event heap here.  Its arrivals
+    come in pre-drawn chunks (:meth:`feed_background`), and the site
+    resolves their start/completion times with a Lindley-style recurrence
+    over the per-core free-time min-heap::
+
+        start_i = max(arrival_i, min(core_free))
+        core_free.replace_min(start_i + runtime_i)
+
+    processed in arrival order (exactly FIFO) and **lazily**: commits
+    only happen up to the current sim time, at the reconciliation points
+    — client enqueue/cancel, outage toggles, telemetry reads
+    (``queue_length`` / ``busy_cores`` / ``estimated_wait``) and chunk
+    refills.  Client-visible jobs keep the event-kernel contract of
+    :class:`ComputingElement`: ``on_start`` fires at the exact start
+    instant, completions are real events, cancellation works queued and
+    mid-run.
+
+    The one scheduling device is the *wake*: while a client job waits in
+    the FIFO, everything ahead of it (arrival times and runtimes of
+    pending background work, committed free times) is already known, so
+    its start instant is fully determined.  The site schedules a single
+    event at that predicted time; any action that can move the
+    prediction earlier (a queued or running cancellation, an outage
+    recovery) re-aims it, and an outage closing the gate disarms it.
+    Prediction and commit run the identical float arithmetic over the
+    identical heap, so client traces are bit-identical to the
+    event-driven oracle wherever no same-timestamp tie is involved.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_cores: int,
+        sim: Simulator,
+        *,
+        on_start: Callable[[Job], None] | None = None,
+    ) -> None:
+        if n_cores < 1:
+            raise ValueError(f"n_cores must be >= 1, got {n_cores}")
+        self.name = name
+        self.n_cores = int(n_cores)
+        self.sim = sim
+        self.on_start = on_start
+        #: min-heap of absolute times at which each core finishes its
+        #: committed work; values <= now mean the core is idle
+        self._core_free: list[float] = [0.0] * int(n_cores)
+        #: pending background arrivals (sorted times + matching runtimes);
+        #: entries before ``_bg_i`` are committed (started), entries at or
+        #: after it are queued or not yet arrived
+        self._bg_t: list[float] = []
+        self._bg_r: list[float] = []
+        self._bg_i = 0
+        #: committed background entries trimmed off the front of the arrays
+        self._bg_done = 0
+        #: client jobs in arrival order (husks skipped lazily)
+        self._client_q: deque[Job] = deque()
+        self._client_husks = 0
+        #: the single predicted-start event armed for the head client job
+        self._wake: Event | None = None
+        self.running_jobs: dict[int, Job] = {}
+        self.dispatch_enabled = True
+        #: no start may be committed before this instant — raised to the
+        #: recovery time when an outage gate reopens, because work that
+        #: "would have" started during the downtime actually starts the
+        #: moment dispatch resumes
+        self._dispatch_floor = 0.0
+        self._started = 0
+        self._killed = 0
+
+    # -- background lane ---------------------------------------------------
+
+    def feed_background(self, times: list[float], runtimes: list[float]) -> None:
+        """Append a chunk of background arrivals (sorted, all in the future).
+
+        Called by :class:`~repro.gridsim.background.BackgroundLoad` once
+        per refill; the reconciliation here also trims committed entries
+        so pending arrays stay chunk-sized on healthy sites.
+        """
+        self._advance()
+        i = self._bg_i
+        if i:
+            del self._bg_t[:i]
+            del self._bg_r[:i]
+            self._bg_done += i
+            self._bg_i = 0
+        self._bg_t.extend(times)
+        self._bg_r.extend(runtimes)
+
+    def background_delivered(self) -> int:
+        """Background arrivals whose arrival time has passed (lazy count)."""
+        self._advance()
+        return self._bg_done + bisect_right(self._bg_t, self.sim._now)
+
+    # -- queue operations ------------------------------------------------
+
+    def enqueue(self, job: Job) -> None:
+        """Accept a dispatched client job into the FIFO."""
+        if job.state not in (JobState.MATCHING, JobState.CREATED):
+            raise ValueError(f"cannot enqueue job in state {job.state}")
+        job.state = JobState.QUEUED
+        job.site = self.name
+        job.queue_time = self.sim._now
+        self._client_q.append(job)
+        self._advance()  # background ahead of it commits; may start it now
+        if job.state is JobState.QUEUED:
+            self._ensure_wake()
+
+    def cancel(self, job: Job) -> bool:
+        """Cancel a queued or running client job; returns ``True`` if it acted."""
+        if job.state is JobState.QUEUED:
+            if job.site != self.name:
+                return False  # queued, but at some other site
+            job.state = JobState.CANCELLED
+            self._client_husks += 1
+            # a removed entry only moves *later* starts earlier, so the
+            # wake needs re-aiming only when the cancelled job was the
+            # head client — if some earlier client is still queued, its
+            # prediction (and the wake) are untouched
+            for q in self._client_q:
+                if q is job:
+                    self._ensure_wake()
+                    break
+                if q.state is JobState.QUEUED:
+                    break
+            return True
+        if job.state is JobState.RUNNING:
+            ev = job.completion_event
+            if ev is not None:
+                ev.cancel()
+                job.completion_event = None
+            self.running_jobs.pop(job.job_id, None)
+            job.state = JobState.CANCELLED
+            now = self.sim._now
+            job.end_time = now
+            self._release_core(job.start_time + job.runtime, now)
+            self._killed += 1
+            self._advance()  # the freed core may start queued work this instant
+            self._ensure_wake()
+            return True
+        return False
+
+    # -- outage hooks ------------------------------------------------------
+
+    def begin_outage(self, rng: np.random.Generator, kill_running: float) -> None:
+        """Close the dispatch gate and kill running jobs w.p. ``kill_running``.
+
+        The oracle draws one uniform per running job in start order; here
+        client jobs draw first (insertion order), then the anonymous
+        background cores — same draw count, i.i.d., law-identical.
+        """
+        self._advance()
+        self.dispatch_enabled = False
+        if self._wake is not None:
+            self._wake.cancel()
+            self._wake = None
+        for job in list(self.running_jobs.values()):
+            if rng.random() < kill_running:
+                self.cancel(job)
+        now = self.sim._now
+        # surviving client ends, to tell client cores from background cores
+        client_ends = sorted(
+            j.start_time + j.runtime for j in self.running_jobs.values()
+        )
+        cf = self._core_free
+        changed = False
+        for k, v in enumerate(cf):
+            if v <= now:
+                continue
+            pos = bisect_left(client_ends, v)
+            if pos < len(client_ends) and client_ends[pos] == v:
+                client_ends.pop(pos)
+                continue
+            if rng.random() < kill_running:
+                cf[k] = now
+                self._killed += 1
+                changed = True
+        if changed:
+            heapify(cf)
+
+    def end_outage(self) -> None:
+        """Reopen the dispatch gate and drain whatever can start now."""
+        self.dispatch_enabled = True
+        self._dispatch_floor = self.sim._now
+        self._advance()
+        self._ensure_wake()
+
+    # -- the vector lane ---------------------------------------------------
+
+    def _advance(self) -> None:
+        """Commit every start with start time <= now (reconciliation point).
+
+        Walks the merged FIFO (pending background arrivals + client
+        deque) in arrival order, applying the Lindley recurrence.  Client
+        commits fire ``on_start`` synchronously, exactly like the
+        oracle's ``_try_start``; since callbacks may re-enter (cancel a
+        sibling at this very site), all loop state lives on ``self`` and
+        locals are refreshed after every callback.
+        """
+        if not self.dispatch_enabled:
+            return
+        t = self.sim._now
+        floor = self._dispatch_floor
+        cf = self._core_free
+        bg_t, bg_r = self._bg_t, self._bg_r
+        n_bg = len(bg_t)
+        cq = self._client_q
+        QUEUED = JobState.QUEUED
+        while True:
+            while cq and cq[0].state is not QUEUED:
+                cq.popleft()
+                self._client_husks -= 1
+            i = self._bg_i
+            if i < n_bg:
+                bt = bg_t[i]
+                take_bg = not cq or bt <= cq[0].queue_time
+            else:
+                bt = 0.0
+                take_bg = False
+            if take_bg:
+                if bt > t:
+                    return
+                m = cf[0]
+                if floor > m:
+                    m = floor
+                s = bt if bt > m else m
+                if s > t:
+                    return
+                heapreplace(cf, s + bg_r[i])
+                self._bg_i = i + 1
+                self._started += 1
+            elif cq:
+                job = cq[0]
+                s = job.queue_time
+                m = cf[0]
+                if floor > m:
+                    m = floor
+                if m > s:
+                    s = m
+                if s > t:
+                    return
+                cq.popleft()
+                heapreplace(cf, s + job.runtime)
+                self._started += 1
+                self._start_client(job, s)
+                # the callback may have cancelled jobs, advanced the lane
+                # re-entrantly, or closed the gate — refresh everything
+                if not self.dispatch_enabled:
+                    return
+                cf = self._core_free
+                bg_t, bg_r = self._bg_t, self._bg_r
+                n_bg = len(bg_t)
+            else:
+                return
+
+    def _start_client(self, job: Job, start: float) -> None:
+        job.state = JobState.RUNNING
+        job.start_time = start
+        # start == now by the wake invariant; schedule_at keeps the
+        # completion instant bit-identical to the core-free heap entry
+        job.completion_event = self.sim.schedule_at(
+            start + job.runtime, partial(self._complete, job)
+        )
+        self.running_jobs[job.job_id] = job
+        if self.on_start is not None and job.tag != "background":
+            self.on_start(job)
+
+    def _complete(self, job: Job) -> None:
+        job.completion_event = None
+        self.running_jobs.pop(job.job_id, None)
+        if job.state is not JobState.RUNNING:
+            return  # killed in the meantime
+        job.state = JobState.COMPLETED
+        job.end_time = self.sim._now
+        # the core-free entry already equals now; queued background work
+        # commits lazily and a waiting client's wake already targets this
+        # instant, so nothing needs triggering here
+
+    def _release_core(self, end_value: float, now: float) -> None:
+        """Return a running client job's core (its free time becomes now).
+
+        The entry is found by its exact float value: commits write
+        ``start + runtime`` into the heap and the completion event with
+        the identical arithmetic, so a running client's end value is
+        guaranteed present.  A miss means the heap invariant broke —
+        fail loudly rather than skew core accounting for the rest of
+        the campaign.
+        """
+        cf = self._core_free
+        try:
+            idx = cf.index(end_value)
+        except ValueError:
+            raise RuntimeError(
+                f"core-free heap of {self.name!r} lost entry {end_value!r} "
+                "for a running client job — site engine invariant broken"
+            ) from None
+        cf[idx] = now
+        heapify(cf)
+
+    # -- the wake ----------------------------------------------------------
+
+    def _ensure_wake(self) -> None:
+        """(Re-)aim the single start event at the head client's start time."""
+        if not self.dispatch_enabled:
+            return  # re-armed by end_outage
+        head = None
+        for job in self._client_q:
+            if job.state is JobState.QUEUED:
+                head = job
+                break
+        w = self._wake
+        if head is None:
+            if w is not None:
+                w.cancel()
+                self._wake = None
+            return
+        s = self._predict_start(head)
+        if w is not None:
+            if not w.cancelled and w.time == s:
+                return
+            w.cancel()
+        self._wake = self.sim.schedule_at(s, self._on_wake)
+
+    def _predict_start(self, head: Job) -> float:
+        """The head client's start instant, given everything ahead of it.
+
+        Runs the same recurrence as :meth:`_advance` on a copy of the
+        free-time heap, without committing — commitments beyond the
+        current time would be invalidated by cancellations or outages,
+        predictions are simply re-made.
+        """
+        h = self._core_free.copy()
+        floor = self._dispatch_floor
+        ct = head.queue_time
+        bg_t, bg_r = self._bg_t, self._bg_r
+        i, n = self._bg_i, len(bg_t)
+        while i < n:
+            bt = bg_t[i]
+            if bt > ct:
+                break
+            m = h[0]
+            if floor > m:
+                m = floor
+            s = bt if bt > m else m
+            heapreplace(h, s + bg_r[i])
+            i += 1
+        m = h[0]
+        if floor > m:
+            m = floor
+        return ct if ct > m else m
+
+    def _on_wake(self) -> None:
+        self._wake = None
+        self._advance()
+        self._ensure_wake()
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        """Jobs waiting (arrived, not started), both lanes."""
+        self._advance()
+        n_bg = bisect_right(self._bg_t, self.sim._now, self._bg_i) - self._bg_i
+        return n_bg + len(self._client_q) - self._client_husks
+
+    @property
+    def busy_cores(self) -> int:
+        """Cores currently executing jobs."""
+        self._advance()
+        now = self.sim._now
+        return sum(1 for v in self._core_free if v > now)
+
+    @property
+    def free_cores(self) -> int:
+        """Cores currently idle."""
+        return self.n_cores - self.busy_cores
+
+    @property
+    def jobs_started(self) -> int:
+        """Cumulative starts (both lanes), reconciled to now."""
+        self._advance()
+        return self._started
+
+    @property
+    def jobs_completed(self) -> int:
+        """Cumulative completions: started minus running minus killed."""
+        self._advance()
+        now = self.sim._now
+        busy = sum(1 for v in self._core_free if v > now)
+        return self._started - busy - self._killed
+
+    def estimated_wait(self, mean_runtime_guess: float) -> float:
+        """Crude queue-wait estimate the information system publishes."""
+        return self.queue_length * mean_runtime_guess / self.n_cores
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"VectorCE({self.name}, cores={self.busy_cores}/{self.n_cores}, "
             f"queued={self.queue_length})"
         )

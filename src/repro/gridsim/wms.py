@@ -62,11 +62,12 @@ class WorkloadManager:
         self.info_refresh = info_refresh
         self.ranking_noise = ranking_noise
         self.runtime_guess = runtime_guess
+        # _measure_loads sets both _snapshot_list (hot ranking loop) and
+        # _snapshot (the current_snapshot() surface)
         self._snapshot: np.ndarray = self._measure_loads()
         self._snapshot_time: float = sim.now
         self.dispatch_count = 0
         self._log_mm_median = float(np.log(matchmaking_median))
-        self._snapshot_list: list[float] = self._snapshot.tolist()
         # block-drawn randomness (law-identical to scalar draws, far
         # cheaper per job): match-making delays and ranking-noise rows
         self._delays: deque[float] = deque()
@@ -76,15 +77,20 @@ class WorkloadManager:
     # -- information system -------------------------------------------------
 
     def _measure_loads(self) -> np.ndarray:
-        return np.array(
-            [s.estimated_wait(self.runtime_guess) for s in self.sites]
-        )
+        # reading estimated_wait is a reconciliation point on the
+        # vectorised site engine: every refresh advances each site's
+        # background lane to the refresh instant before publishing.
+        # Both views are set together — the list feeds the hot ranking
+        # loop, the array is the external current_snapshot() surface
+        loads = [s.estimated_wait(self.runtime_guess) for s in self.sites]
+        self._snapshot_list = loads
+        self._snapshot = np.asarray(loads)
+        return self._snapshot
 
     def current_snapshot(self) -> np.ndarray:
         """Stale load estimates, refreshed every ``info_refresh`` seconds."""
         if self.sim.now - self._snapshot_time >= self.info_refresh:
-            self._snapshot = self._measure_loads()
-            self._snapshot_list = self._snapshot.tolist()
+            self._measure_loads()
             self._snapshot_time = self.sim.now
         return self._snapshot
 

@@ -69,6 +69,31 @@ class TestDescribe:
         assert "unknown trace set" in text
 
 
+class TestBench:
+    def test_bench_invokes_harness_with_passthrough_flags(self):
+        from repro.cli import _cmd_bench, build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--update", "--threshold", "2.0", "--report", "r.txt"]
+        )
+        calls = []
+        out = io.StringIO()
+        code = _cmd_bench(args, out, runner=lambda cmd: calls.append(cmd) or 0)
+        assert code == 0
+        (cmd,) = calls
+        assert cmd[1].endswith("run_benchmarks.py")
+        assert "--update" in cmd
+        assert cmd[cmd.index("--threshold") + 1] == "2.0"
+        assert cmd[cmd.index("--report") + 1] == "r.txt"
+
+    def test_bench_propagates_harness_exit_code(self):
+        from repro.cli import _cmd_bench, build_parser
+
+        args = build_parser().parse_args(["bench"])
+        code = _cmd_bench(args, io.StringIO(), runner=lambda cmd: 1)
+        assert code == 1
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

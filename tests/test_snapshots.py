@@ -27,6 +27,17 @@ from repro.gridsim.grid import _WARM_CACHE
 from repro.gridsim.jobs import Job
 
 
+@pytest.fixture()
+def warm_cache_defaults():
+    """Restore the warm-cache limits (and contents) after a test tweaks them."""
+    from repro.gridsim import grid as grid_mod
+
+    entries, size = grid_mod._WARM_CACHE_MAX, grid_mod._WARM_CACHE_MAX_BYTES
+    yield
+    _WARM_CACHE.clear()
+    grid_mod.configure_warm_cache(max_entries=entries, max_bytes=size)
+
+
 def config(**kw) -> GridConfig:
     defaults = dict(
         sites=(
@@ -160,13 +171,43 @@ class TestWarmedGridFactory:
         warmed_grid(config(), seed=1, duration=3600.0)
         assert len(_WARM_CACHE) == 3
 
-    def test_cache_is_bounded(self):
-        from repro.gridsim.grid import _WARM_CACHE_MAX
+    def test_cache_entry_cap_is_configurable(self, warm_cache_defaults):
+        from repro.gridsim import configure_warm_cache
 
         _WARM_CACHE.clear()
-        for seed in range(_WARM_CACHE_MAX + 3):
+        configure_warm_cache(max_entries=4)
+        for seed in range(7):
             warmed_grid(config(), seed=seed, duration=900.0)
-        assert len(_WARM_CACHE) == _WARM_CACHE_MAX
+        assert len(_WARM_CACHE) == 4
+        # LRU: the newest entries survive
+        kept_seeds = sorted(key[1] for key in _WARM_CACHE)
+        assert kept_seeds == [3, 4, 5, 6]
+
+    def test_cache_evicts_by_total_pickle_size(self, warm_cache_defaults):
+        from repro.gridsim import configure_warm_cache
+
+        _WARM_CACHE.clear()
+        configure_warm_cache(max_entries=64)
+        warmed_grid(config(), seed=1, duration=900.0)
+        one_size = next(iter(_WARM_CACHE.values())).nbytes
+        assert one_size > 0
+        # room for two snapshots, not three
+        configure_warm_cache(max_bytes=int(2.5 * one_size))
+        warmed_grid(config(), seed=2, duration=900.0)
+        warmed_grid(config(), seed=3, duration=900.0)
+        assert len(_WARM_CACHE) == 2
+        assert sorted(key[1] for key in _WARM_CACHE) == [2, 3]
+        # shrinking the budget evicts immediately
+        configure_warm_cache(max_bytes=one_size)
+        assert len(_WARM_CACHE) == 1
+
+    def test_configure_warm_cache_validation(self, warm_cache_defaults):
+        from repro.gridsim import configure_warm_cache
+
+        with pytest.raises(ValueError):
+            configure_warm_cache(max_entries=0)
+        with pytest.raises(ValueError):
+            configure_warm_cache(max_bytes=0)
 
     def test_generator_seeds_bypass_cache(self):
         _WARM_CACHE.clear()
