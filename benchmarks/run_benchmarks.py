@@ -33,15 +33,22 @@ from pathlib import Path
 BENCH_DIR = Path(__file__).resolve().parent
 REPO_ROOT = BENCH_DIR.parent
 DEFAULT_BASELINE = BENCH_DIR / "BENCH_core.json"
-#: the tracked baseline covers the numerical core *and* the DES substrate
-CORE_SUITES = [BENCH_DIR / "test_bench_core.py", BENCH_DIR / "test_bench_gridsim.py"]
+#: the tracked baseline covers the numerical core, the DES substrate and
+#: the multi-VO federation/population layer
+CORE_SUITES = [
+    BENCH_DIR / "test_bench_core.py",
+    BENCH_DIR / "test_bench_gridsim.py",
+    BENCH_DIR / "test_bench_population.py",
+]
 
 
-def run_pytest_benchmarks(suites: list[Path]) -> dict:
+def run_pytest_benchmarks(suites: list[Path], *, large: bool = False) -> dict:
     """Run pytest-benchmark on ``suites`` and return the raw JSON report."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         report_path = Path(tmp.name)
     env = dict(os.environ)
+    if large:
+        env["REPRO_BENCH_LARGE"] = "1"
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -159,9 +166,19 @@ def main(argv: list[str] | None = None) -> int:
             "(uploaded as a workflow artifact by the CI bench smoke)"
         ),
     )
+    parser.add_argument(
+        "--large",
+        action="store_true",
+        help=(
+            "also run the opt-in large-scale benches (sets "
+            "REPRO_BENCH_LARGE=1: the 10^4-task multi-VO adoption sweep)"
+        ),
+    )
     args = parser.parse_args(argv)
 
-    results = distill(run_pytest_benchmarks([Path(s) for s in args.suite]))
+    results = distill(
+        run_pytest_benchmarks([Path(s) for s in args.suite], large=args.large)
+    )
     if not results:
         raise SystemExit("no benchmarks collected — is pytest-benchmark installed?")
 

@@ -1,0 +1,73 @@
+"""Benchmarks: the multi-VO federation layer and the population driver.
+
+``test_bench_multi_vo_population`` tracks the steady cost of driving a
+mixed user population (fair-share sites, two federated brokers, diurnal
+launches) at a moderate 2·10³ tasks, so regressions in the fair-share
+commit loop or the wake predictor show up in ``BENCH_core.json``.
+
+``test_bench_multi_vo_adoption_10k`` is the opt-in large-scale run
+(``REPRO_BENCH_LARGE=1`` or ``run_benchmarks.py --large``): the full
+``multi-vo`` experiment — the §8-style adoption sweep at 10⁴ tasks per
+point — whose rendered output is also the committed
+``benchmarks/results/multi-vo.txt`` artifact (identical to
+``repro run multi-vo``, which uses the same defaults).
+"""
+
+import os
+
+import pytest
+
+from repro.core.strategies import MultipleSubmission, SingleResubmission
+from repro.experiments import run_experiment
+from repro.experiments.multi_vo import multi_vo_grid_config
+from repro.population import FleetSpec, PopulationSpec, run_population
+from repro.gridsim import warmed_snapshot
+from repro.traces.generator import DiurnalProfile
+
+RUN_LARGE = os.environ.get("REPRO_BENCH_LARGE", "") not in ("", "0")
+
+
+def test_bench_multi_vo_population(benchmark):
+    """2·10³ tasks across 3 VOs / 2 brokers on the warmed 576-core grid."""
+    config = multi_vo_grid_config()
+    snap = warmed_snapshot(config, seed=29, duration=6 * 3600.0)
+    spec = PopulationSpec(
+        fleets=(
+            FleetSpec("biomed", SingleResubmission(t_inf=4000.0), 700),
+            FleetSpec(
+                "biomed",
+                MultipleSubmission(b=3, t_inf=4000.0),
+                300,
+                label="biomed/adopters",
+            ),
+            FleetSpec("atlas", SingleResubmission(t_inf=4000.0), 600),
+            FleetSpec("cms", SingleResubmission(t_inf=4000.0), 400),
+        ),
+        window=86_400.0,
+        diurnal=DiurnalProfile(amplitude=0.4),
+    )
+
+    def run():
+        return run_population(snap.restore(), spec, seed=29)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.total_finished + result.total_gave_up == 2000
+    assert result.total_gave_up < 100
+    assert sum(result.broker_dispatches) > 2000
+
+
+@pytest.mark.skipif(
+    not RUN_LARGE, reason="set REPRO_BENCH_LARGE=1 (or --large) to run"
+)
+def test_bench_multi_vo_adoption_10k(benchmark, save_result):
+    """The full multi-vo experiment: 4 adoption levels x 10⁴ tasks."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("multi-vo"),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    save_result(result)
+    sweep, shares = result.tables
+    assert len(sweep.rows) == 4
+    assert len(shares.rows) == 8

@@ -66,6 +66,51 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    fed_p = sub.add_parser(
+        "federation",
+        help="run a user population on a multi-VO federated grid",
+    )
+    fed_p.add_argument("--sites", type=int, default=8, help="number of sites")
+    fed_p.add_argument(
+        "--brokers", type=int, default=2, help="number of federated WMS brokers"
+    )
+    fed_p.add_argument(
+        "--vos",
+        default="biomed:0.5,atlas:0.3,cms:0.2",
+        help="comma-separated VO:share pairs (shares are normalised)",
+    )
+    fed_p.add_argument(
+        "--tasks", type=int, default=2000, help="total tasks across all VOs"
+    )
+    fed_p.add_argument(
+        "--adoption",
+        type=float,
+        default=0.5,
+        help="fraction of the first VO's tasks adopting burst submission",
+    )
+    fed_p.add_argument(
+        "-b", type=int, default=3, help="burst width of the adopted strategy"
+    )
+    fed_p.add_argument(
+        "--runtime", type=float, default=600.0, help="task payload runtime (s)"
+    )
+    fed_p.add_argument(
+        "--window",
+        type=float,
+        default=86_400.0,
+        help="submission window (virtual s)",
+    )
+    fed_p.add_argument(
+        "--utilization", type=float, default=0.85, help="background utilisation"
+    )
+    fed_p.add_argument(
+        "--info-lag",
+        type=float,
+        default=900.0,
+        help="federated staleness towards non-owned sites (s)",
+    )
+    fed_p.add_argument("--seed", type=int, default=29)
+
     desc_p = sub.add_parser("describe", help="describe a paper trace set")
     desc_p.add_argument("week", help="trace-set name, e.g. 2006-IX")
     desc_p.add_argument("--seed", type=int, default=2009)
@@ -96,6 +141,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write the comparison-vs-baseline table to this file",
+    )
+    bench_p.add_argument(
+        "--large",
+        action="store_true",
+        help="also run the opt-in large-scale benches (REPRO_BENCH_LARGE=1)",
     )
 
     return parser
@@ -131,6 +181,116 @@ def _cmd_run(args, out) -> int:
             out.write(f"wrote {args.out / (exp_id + '.txt')}\n")
         else:
             out.write(text + "\n\n")
+    return 0
+
+
+def _parse_vo_shares(raw: str) -> tuple[tuple[str, float], ...]:
+    """Parse ``"biomed:0.5,atlas:0.3"`` into share pairs."""
+    pairs = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        name, _, share = part.partition(":")
+        if not name or not share:
+            raise ValueError(f"malformed VO share {part!r}; expected name:share")
+        pairs.append((name, float(share)))
+    if not pairs:
+        raise ValueError(f"no VO shares in {raw!r}")
+    return tuple(pairs)
+
+
+def _cmd_federation(args, out) -> int:
+    """Build a federated multi-VO grid and run one adoption population."""
+    from repro.core.strategies import MultipleSubmission, SingleResubmission
+    from repro.gridsim import federated_grid_config, warmed_snapshot
+    from repro.population import adoption_population, run_population
+    from repro.traces.generator import DiurnalProfile
+    from repro.util.tables import Table, format_float, format_percent, format_seconds
+
+    try:
+        vo_shares = _parse_vo_shares(args.vos)
+        config = federated_grid_config(
+            n_sites=args.sites,
+            n_brokers=args.brokers,
+            vo_shares=vo_shares,
+            seed=args.seed,
+            utilization=args.utilization,
+            info_lag=args.info_lag,
+        )
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    if args.tasks < len(vo_shares):
+        out.write(f"error: --tasks must be >= {len(vo_shares)}\n")
+        return 2
+    if not 0.0 <= args.adoption <= 1.0:
+        out.write(f"error: --adoption must be in [0, 1], got {args.adoption}\n")
+        return 2
+    total = sum(s for _, s in vo_shares)
+    vo_tasks = {
+        vo: max(1, int(round(args.tasks * s / total))) for vo, s in vo_shares
+    }
+    try:
+        spec = adoption_population(
+            vo_tasks=vo_tasks,
+            strategies={vo: SingleResubmission(t_inf=4000.0) for vo in vo_tasks},
+            adopter_vo=vo_shares[0][0],
+            adopted=MultipleSubmission(b=args.b, t_inf=4000.0),
+            adoption=args.adoption,
+            window=args.window,
+            runtime=args.runtime,
+            diurnal=DiurnalProfile(amplitude=0.4),
+        )
+        # building the grid validates the remaining knobs (per-site
+        # utilisation draws land above args.utilization, so e.g. 1.45
+        # can still be rejected here)
+        grid = warmed_snapshot(
+            config, seed=args.seed, duration=6 * 3600.0
+        ).restore()
+        result = run_population(grid, spec, seed=args.seed)
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+    table = Table(
+        title=(
+            f"population of {spec.total_tasks} tasks on {args.sites} sites / "
+            f"{args.brokers} brokers ({format_percent(args.adoption, 0)} of "
+            f"{vo_shares[0][0]} bursting b={args.b})"
+        ),
+        columns=["fleet", "tasks", "mean J", "median J", "jobs/task", "gave up"],
+    )
+    for f in result.fleets:
+        table.add_row(
+            f.spec.label,
+            f.spec.n_tasks,
+            format_seconds(f.mean_j),
+            format_seconds(f.median_j),
+            format_float(f.mean_jobs, 2),
+            f.gave_up,
+        )
+    out.write(table.render() + "\n")
+    out.write(
+        f"\nbroker dispatches: "
+        + ", ".join(
+            f"{bc.name}: {d}"
+            for bc, d in zip(config.brokers, result.broker_dispatches)
+        )
+        + f"\nmiddleware faults: {result.jobs_lost} lost, "
+        f"{result.jobs_stuck} stuck\n"
+    )
+    if result.site_usage_shares:
+        vo_names = [vo for vo, _ in vo_shares]
+        usage = Table(
+            title="end-state fair-share usage per site",
+            columns=["site", *vo_names],
+        )
+        for site, shares in result.site_usage_shares.items():
+            usage.add_row(
+                site, *(format_percent(shares[vo], 1) for vo in vo_names)
+            )
+        out.write("\n" + usage.render() + "\n")
     return 0
 
 
@@ -179,6 +339,8 @@ def _cmd_bench(args, out, runner=subprocess.call) -> int:
         cmd += ["--threshold", str(args.threshold)]
     if args.report is not None:
         cmd += ["--report", str(args.report)]
+    if args.large:
+        cmd.append("--large")
     return runner(cmd)
 
 
@@ -190,6 +352,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_list(out)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "federation":
+        return _cmd_federation(args, out)
     if args.command == "describe":
         return _cmd_describe(args, out)
     if args.command == "bench":

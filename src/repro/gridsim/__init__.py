@@ -18,11 +18,28 @@ substitute: an event-driven simulator with
   (:mod:`repro.gridsim.probes`), emitting :class:`~repro.traces.TraceSet`;
 * client-side strategy executors replaying the three §4–§6 strategies
   against the simulated grid (:mod:`repro.gridsim.client`), including the
-  fleet-adoption experiment the paper leaves as future work.
+  fleet-adoption experiment the paper leaves as future work;
+* per-VO fair-share scheduling at sites (:mod:`repro.gridsim.fairshare`)
+  — the multi-tenant reality of production grids, with VO labels riding
+  the vectorised background chunks;
+* WMS federation (:mod:`repro.gridsim.federation`): several brokers,
+  each owning a subset of sites and seeing the rest through a lagged
+  information-system view;
+* replay of recorded SWF/GWF workloads through the background lane
+  (:mod:`repro.gridsim.replay`).
+
+Fleets of strategy-running users per VO are driven by the companion
+:mod:`repro.population` package.
 """
 
 from repro.gridsim.events import Simulator
+from repro.gridsim.fairshare import (
+    FairShareComputingElement,
+    FairShareState,
+    FairShareVectorComputingElement,
+)
 from repro.gridsim.faults import FaultModel
+from repro.gridsim.federation import BrokerConfig, FederatedBroker
 from repro.gridsim.grid import (
     GridConfig,
     GridSimulator,
@@ -30,6 +47,7 @@ from repro.gridsim.grid import (
     SiteConfig,
     configure_warm_cache,
     default_grid_config,
+    federated_grid_config,
     warmed_grid,
     warmed_snapshot,
 )
@@ -37,6 +55,7 @@ from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.metrics import GridMonitor, GridSample
 from repro.gridsim.outages import OutageProcess
 from repro.gridsim.probes import ProbeExperiment
+from repro.gridsim.replay import TraceReplayLoad, replay_arrays_from_trace
 from repro.gridsim.site import ComputingElement, VectorComputingElement
 from repro.gridsim.client import (
     StrategyOutcome,
@@ -51,10 +70,18 @@ __all__ = [
     "SiteConfig",
     "GridSimulator",
     "GridSnapshot",
+    "BrokerConfig",
+    "FederatedBroker",
     "ComputingElement",
     "VectorComputingElement",
+    "FairShareComputingElement",
+    "FairShareState",
+    "FairShareVectorComputingElement",
+    "TraceReplayLoad",
+    "replay_arrays_from_trace",
     "configure_warm_cache",
     "default_grid_config",
+    "federated_grid_config",
     "warmed_grid",
     "warmed_snapshot",
     "Job",

@@ -25,7 +25,11 @@ The process law is identical either way — gaps stay i.i.d. exponential
 at the peak rate, thinning still compares a uniform against
 ``rate(t)/peak`` at the arrival time, runtimes stay log-normal, and the
 RNG consumption order is byte-for-byte the same, so the two engines see
-*identical* (arrival, runtime) sequences for a given seed.
+*identical* (arrival, runtime) sequences for a given seed.  On
+multi-VO sites a ``vo_mix`` adds one block of label uniforms per chunk
+*after* the runtimes (inverse-CDF against the traffic mix), so
+single-VO streams consume the RNG exactly as before and the two engines
+also agree on every VO label.
 ``tests/test_background_equivalence.py`` keeps the historical
 per-arrival loop as the law oracle; ``tests/test_site_engine_equivalence.py``
 pins the two engines against each other.
@@ -65,6 +69,7 @@ class BackgroundLoad:
         runtime_sigma: float = 0.8,
         diurnal: DiurnalProfile | None = None,
         chunk_size: int = DEFAULT_CHUNK,
+        vo_mix: tuple[tuple[str, float], ...] | None = None,
     ) -> None:
         check_in_range("utilization", utilization, 0.0, 1.5, inclusive=(False, True))
         check_positive("runtime_median", runtime_median)
@@ -87,6 +92,34 @@ class BackgroundLoad:
         #: by :meth:`_deliver` (arrival events fire in schedule order;
         #: unused on the vectorised lane)
         self._runtimes: deque[float] = deque()
+        #: multi-VO production mix: labels are block-drawn per chunk
+        #: (one uniform per accepted arrival, inverse-CDF against the
+        #: cumulative mix) *after* the runtimes, so single-VO streams
+        #: consume the RNG byte-for-byte as before
+        if vo_mix is not None and len(vo_mix) >= 1:
+            weights = np.asarray([w for _, w in vo_mix], dtype=np.float64)
+            if (weights <= 0.0).any():
+                raise ValueError("vo_mix weights must be > 0")
+            self._vo_names = tuple(n for n, _ in vo_mix)
+            # a single-entry mix is a constant label: no uniforms drawn,
+            # so such streams consume the RNG exactly like unlabelled ones
+            self._vo_cum = (
+                np.cumsum(weights / weights.sum()) if len(vo_mix) >= 2 else None
+            )
+            # translate mix order into the site's VO index space (bulk
+            # lane); fair-share sites expose the mapping, others take 0
+            index_of = getattr(
+                getattr(site, "fairshare", None), "index_of", lambda _n: 0
+            )
+            self._vo_site_idx = np.asarray(
+                [index_of(n) for n in self._vo_names], dtype=np.intp
+            )
+        else:
+            self._vo_names = None
+            self._vo_cum = None
+            self._vo_site_idx = None
+        #: VO labels matching :attr:`_runtimes` on the event lane
+        self._vo_labels: deque[int] = deque()
         # mean of lognormal = median * exp(sigma^2/2)
         mean_runtime = runtime_median * float(np.exp(runtime_sigma**2 / 2.0))
         #: base arrival rate achieving the target utilisation (jobs/s)
@@ -125,12 +158,32 @@ class BackgroundLoad:
         runtimes = rng.lognormal(
             self._log_median, self.runtime_sigma, size=accepted.size
         )
+        if self._vo_cum is not None:
+            labels = np.searchsorted(
+                self._vo_cum, rng.random(accepted.size), side="right"
+            )
+            # guard against a uniform landing exactly on the last edge
+            np.minimum(labels, len(self._vo_names) - 1, out=labels)
+        elif self._vo_names is not None:
+            # single-VO mix: constant label, no draws
+            labels = np.zeros(accepted.size, dtype=np.intp)
+        else:
+            labels = None
         if self._bulk:
             # the vector lane takes the whole chunk as arrays: no events,
             # no Job objects — the site commits starts lazily
-            self.site.feed_background(accepted.tolist(), runtimes.tolist())
+            if labels is None:
+                self.site.feed_background(accepted.tolist(), runtimes.tolist())
+            else:
+                self.site.feed_background(
+                    accepted.tolist(),
+                    runtimes.tolist(),
+                    self._vo_site_idx[labels].tolist(),
+                )
         else:
             self._runtimes.extend(runtimes.tolist())
+            if labels is not None:
+                self._vo_labels.extend(labels.tolist())
             # one shared bound-method callback for the whole chunk: arrival
             # events fire in time order (FIFO among ties), matching the
             # _runtimes queue
@@ -141,6 +194,8 @@ class BackgroundLoad:
 
     def _deliver(self) -> None:
         job = Job(runtime=self._runtimes.popleft(), tag="background")
+        if self._vo_labels:
+            job.vo = self._vo_names[self._vo_labels.popleft()]
         job.submit_time = self.sim._now
         self.site.enqueue(job)
         self._generated += 1

@@ -31,7 +31,12 @@ from repro.gridsim.grid import GridSimulator, GridSnapshot
 from repro.gridsim.jobs import Job
 from repro.util.validation import check_positive
 
-__all__ = ["StrategyOutcome", "run_strategy_batch", "run_strategy_on_grid"]
+__all__ = [
+    "StrategyOutcome",
+    "launch_task",
+    "run_strategy_batch",
+    "run_strategy_on_grid",
+]
 
 
 @dataclass(frozen=True)
@@ -64,12 +69,27 @@ class StrategyOutcome:
 
 
 class _TaskBase:
-    """Common bookkeeping for one task executed under a strategy."""
+    """Common bookkeeping for one task executed under a strategy.
 
-    def __init__(self, grid: GridSimulator, runtime: float, results: list) -> None:
+    ``vo`` labels every submitted copy (fair-share sites account them to
+    that VO) and ``via`` pins the broker on federated grids; the
+    defaults leave single-tenant grids byte-identical to before.
+    """
+
+    def __init__(
+        self,
+        grid: GridSimulator,
+        runtime: float,
+        results: list,
+        *,
+        vo: str = "",
+        via: int | str | None = None,
+    ) -> None:
         self.grid = grid
         self.runtime = runtime
         self.results = results
+        self.vo = vo
+        self.via = via
         self.t_start = grid.now
         self.jobs_used = 0
         self.done = False
@@ -77,10 +97,10 @@ class _TaskBase:
         self.timers: list = []
 
     def _submit_copy(self, on_start) -> Job:
-        job = Job(runtime=self.runtime, tag="task")
+        job = Job(runtime=self.runtime, tag="task", vo=self.vo)
         self.jobs_used += 1
         self.active_jobs.append(job)
-        self.grid.submit(job, on_start=on_start)
+        self.grid.submit(job, on_start=on_start, via=self.via)
         return job
 
     def _finish(self, winner: Job) -> None:
@@ -100,8 +120,8 @@ class _TaskBase:
 
 
 class _SingleTask(_TaskBase):
-    def __init__(self, grid, runtime, results, t_inf: float) -> None:
-        super().__init__(grid, runtime, results)
+    def __init__(self, grid, runtime, results, t_inf: float, **kwargs) -> None:
+        super().__init__(grid, runtime, results, **kwargs)
         self.t_inf = t_inf
         self._round()
 
@@ -120,8 +140,10 @@ class _SingleTask(_TaskBase):
 
 
 class _MultipleTask(_TaskBase):
-    def __init__(self, grid, runtime, results, b: int, t_inf: float) -> None:
-        super().__init__(grid, runtime, results)
+    def __init__(
+        self, grid, runtime, results, b: int, t_inf: float, **kwargs
+    ) -> None:
+        super().__init__(grid, runtime, results, **kwargs)
         self.b = b
         self.t_inf = t_inf
         self._round()
@@ -142,8 +164,10 @@ class _MultipleTask(_TaskBase):
 
 
 class _DelayedTask(_TaskBase):
-    def __init__(self, grid, runtime, results, t0: float, t_inf: float) -> None:
-        super().__init__(grid, runtime, results)
+    def __init__(
+        self, grid, runtime, results, t0: float, t_inf: float, **kwargs
+    ) -> None:
+        super().__init__(grid, runtime, results, **kwargs)
         self.t0 = t0
         self.t_inf = t_inf
         self._submit_next()
@@ -161,6 +185,36 @@ class _DelayedTask(_TaskBase):
         if self.done:
             return
         self.grid.cancel(job)
+
+
+def launch_task(
+    grid: GridSimulator,
+    strategy: Strategy,
+    runtime: float,
+    results: list,
+    *,
+    vo: str = "",
+    via: int | str | None = None,
+):
+    """Start one task executing ``strategy`` on the grid *now*.
+
+    The task submits copies, arms timers and resubmits per the strategy
+    until one copy starts; it then appends ``(total latency, jobs used)``
+    to ``results``.  ``vo`` labels the copies for fair-share accounting
+    and ``via`` pins a broker on federated grids — this is the
+    building block :mod:`repro.population` drives fleets with.
+    """
+    if isinstance(strategy, SingleResubmission):
+        return _SingleTask(grid, runtime, results, strategy.t_inf, vo=vo, via=via)
+    if isinstance(strategy, MultipleSubmission):
+        return _MultipleTask(
+            grid, runtime, results, strategy.b, strategy.t_inf, vo=vo, via=via
+        )
+    if isinstance(strategy, DelayedResubmission):
+        return _DelayedTask(
+            grid, runtime, results, strategy.t0, strategy.t_inf, vo=vo, via=via
+        )
+    raise TypeError(f"unsupported strategy type {type(strategy).__name__}")
 
 
 def run_strategy_on_grid(
@@ -201,16 +255,13 @@ def run_strategy_on_grid(
     check_positive("horizon", horizon)
     results: list[tuple[float, int]] = []
 
-    def launcher_for(strat: Strategy):
-        if isinstance(strat, SingleResubmission):
-            return lambda: _SingleTask(grid, runtime, results, strat.t_inf)
-        if isinstance(strat, MultipleSubmission):
-            return lambda: _MultipleTask(grid, runtime, results, strat.b, strat.t_inf)
-        if isinstance(strat, DelayedResubmission):
-            return lambda: _DelayedTask(grid, runtime, results, strat.t0, strat.t_inf)
-        raise TypeError(f"unsupported strategy type {type(strat).__name__}")
+    if not isinstance(
+        strategy, (SingleResubmission, MultipleSubmission, DelayedResubmission)
+    ):
+        raise TypeError(f"unsupported strategy type {type(strategy).__name__}")
 
-    launch = launcher_for(strategy)
+    def launch() -> None:
+        launch_task(grid, strategy, runtime, results)
     for i in range(n_tasks):
         grid.sim.schedule_at(grid.now + i * task_interval, launch)
 
@@ -271,6 +322,15 @@ def _bump_job_ids_past(grid: GridSimulator) -> None:
             max_id = max(max_id, j.job_id)
         for j in getattr(site, "queue", ()):
             max_id = max(max_id, j.job_id)
+        # fair-share engines queue per VO (the event flavour holds Jobs,
+        # the vector flavour holds Jobs mixed with bg tuples)
+        for q in getattr(site, "_vo_queues", ()):
+            for j in q:
+                max_id = max(max_id, j.job_id)
+        for q in getattr(site, "_voq", ()):
+            for j in q:
+                if isinstance(j, Job):
+                    max_id = max(max_id, j.job_id)
     current = next(jobs_mod._job_ids)
     jobs_mod._job_ids = itertools.count(max(current, max_id + 1))
 

@@ -1,0 +1,605 @@
+"""Per-VO fair-share scheduling at computing elements.
+
+Production grids are multi-tenant: a site's batch system splits its
+capacity between virtual organisations according to negotiated *shares*,
+usually with an exponentially decayed usage window (Maui/Moab and SLURM
+style fair-share).  This module adds that layer on top of both site
+engines without touching them:
+
+* :class:`FairShareState` — the accounting common to both engines: one
+  decayed CPU-usage counter per VO, compared as ``usage/share`` (lowest
+  ratio wins the next free core).  Decay is *lazy and closed-form*
+  (``usage · 2^{-Δt/halflife}``), so no per-interval decay events exist
+  and the two engines apply bit-identical arithmetic.
+* :class:`FairShareComputingElement` — the event oracle: per-VO FIFO
+  queues in front of the same core pool; every free core is handed to
+  the head job of the most underserved VO.
+* :class:`FairShareVectorComputingElement` — the production engine: the
+  chunked background lane carries a VO label per arrival
+  (:meth:`~FairShareVectorComputingElement.feed_background` grows a
+  third array), and the Lindley commit loop resolves fair-share priority
+  at every start while still creating **zero events and zero Job
+  objects** for background work.
+
+With a single configured VO both schedulers degrade to plain FIFO over
+one queue and charge/decay arithmetic that never influences a decision,
+so their client traces and telemetry are *exactly* those of the plain
+engines (pinned by ``tests/test_fairshare.py``); grids whose sites
+declare fewer than two VOs are wired with the plain engines anyway.
+
+Scheduling equivalence caveat (inherited from the base engines): traces
+are bit-identical wherever no same-timestamp tie interposes a completion
+and an arrival — measure-zero under continuous laws.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from functools import partial
+from heapq import heapreplace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.gridsim.events import Simulator
+from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.site import ComputingElement, VectorComputingElement
+
+__all__ = [
+    "FairShareState",
+    "FairShareComputingElement",
+    "FairShareVectorComputingElement",
+]
+
+#: default decay half-life of the fair-share usage window (s)
+DEFAULT_HALFLIFE = 86_400.0
+
+
+def normalize_vo_shares(
+    vo_shares: Iterable[tuple[str, float]],
+) -> tuple[tuple[str, float], ...]:
+    """Validate ``(name, share)`` pairs and normalise shares to sum 1."""
+    pairs = tuple(vo_shares)
+    if not pairs:
+        raise ValueError("vo_shares must name at least one VO")
+    names = []
+    raw = []
+    for entry in pairs:
+        try:
+            name, share = entry
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"vo_shares entries must be (name, share) pairs, got {entry!r}"
+            ) from None
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"VO name must be a non-empty string, got {name!r}")
+        share = float(share)
+        if not math.isfinite(share) or share <= 0.0:
+            raise ValueError(f"share of VO {name!r} must be > 0, got {share!r}")
+        names.append(name)
+        raw.append(share)
+    dupes = {n for n in names if names.count(n) > 1}
+    if dupes:
+        raise ValueError(f"duplicate VO name(s): {', '.join(sorted(dupes))}")
+    total = sum(raw)
+    return tuple((n, s / total) for n, s in zip(names, raw))
+
+
+class FairShareState:
+    """Decayed per-VO usage accounting driving scheduling decisions.
+
+    The scheduler keeps one usage counter per VO: every dispatched job
+    charges its (requested) runtime to its VO at the start instant, and
+    counters decay with half-life ``halflife`` so old consumption stops
+    counting against a VO.  Priority is the classic underserved-first
+    rule — the candidate minimising ``usage/share`` wins, registration
+    order breaking exact ties deterministically.
+
+    Decay is applied lazily inside :meth:`select` / :meth:`charge` only,
+    with the identical call sequence on both site engines, so usage
+    floats (and therefore decisions) stay bit-identical across engines.
+    Telemetry reads go through :meth:`decayed_usage`, which never
+    commits a decay step.
+    """
+
+    __slots__ = ("names", "shares", "halflife", "_index", "_usage", "_last")
+
+    def __init__(
+        self,
+        vo_shares: Iterable[tuple[str, float]],
+        halflife: float = DEFAULT_HALFLIFE,
+    ) -> None:
+        pairs = normalize_vo_shares(vo_shares)
+        if not halflife > 0.0:  # math.inf allowed: no decay
+            raise ValueError(f"halflife must be > 0, got {halflife!r}")
+        self.names: tuple[str, ...] = tuple(n for n, _ in pairs)
+        self.shares: tuple[float, ...] = tuple(s for _, s in pairs)
+        self.halflife = float(halflife)
+        self._index = {n: i for i, n in enumerate(self.names)}
+        self._usage = [0.0] * len(self.names)
+        self._last = 0.0
+
+    def index_of(self, vo: str) -> int:
+        """VO index for a job label; unknown/empty labels map to VO 0."""
+        return self._index.get(vo, 0)
+
+    def _decay_to(self, t: float) -> None:
+        if t > self._last:
+            f = 0.5 ** ((t - self._last) / self.halflife)
+            usage = self._usage
+            for k in range(len(usage)):
+                usage[k] *= f
+            self._last = t
+
+    def select(self, candidates: Sequence[int], t: float) -> int:
+        """The most underserved VO among ``candidates`` at time ``t``."""
+        self._decay_to(t)
+        usage = self._usage
+        shares = self.shares
+        best = candidates[0]
+        best_ratio = usage[best] / shares[best]
+        for v in candidates[1:]:
+            ratio = usage[v] / shares[v]
+            if ratio < best_ratio:
+                best = v
+                best_ratio = ratio
+        return best
+
+    def charge(self, vo: int, cpu: float, t: float) -> None:
+        """Account ``cpu`` seconds to VO ``vo`` at time ``t``."""
+        self._decay_to(t)
+        self._usage[vo] += cpu
+
+    def fork(self) -> "FairShareState":
+        """An independent copy (for non-committing start predictions)."""
+        clone = FairShareState.__new__(FairShareState)
+        clone.names = self.names
+        clone.shares = self.shares
+        clone.halflife = self.halflife
+        clone._index = self._index
+        clone._usage = list(self._usage)
+        clone._last = self._last
+        return clone
+
+    def decayed_usage(self, t: float) -> list[float]:
+        """Usage decayed to ``t`` *without* committing the decay step."""
+        f = 0.5 ** (max(t - self._last, 0.0) / self.halflife)
+        return [u * f for u in self._usage]
+
+    def __getstate__(self):
+        return {s: getattr(self, s) for s in self.__slots__}
+
+    def __setstate__(self, state):
+        for s, v in state.items():
+            setattr(self, s, v)
+
+
+class _VoTelemetry:
+    """Per-VO telemetry shared by both fair-share engines."""
+
+    fairshare: FairShareState
+
+    def _vo_queue_pairs(self) -> list[tuple[str, int]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def vo_queue_lengths(self) -> dict[str, int]:
+        """Waiting jobs per VO (husks discounted)."""
+        return dict(self._vo_queue_pairs())
+
+    def usage_shares(self) -> dict[str, float]:
+        """Each VO's fraction of the decayed usage window (0 when idle)."""
+        advance = getattr(self, "_advance", None)
+        if advance is not None:  # vector lane: reading usage reconciles
+            advance()
+        usage = self.fairshare.decayed_usage(self.sim._now)
+        total = sum(usage)
+        if total <= 0.0:
+            return {n: 0.0 for n in self.fairshare.names}
+        return {n: u / total for n, u in zip(self.fairshare.names, usage)}
+
+
+class FairShareComputingElement(_VoTelemetry, ComputingElement):
+    """Event-driven oracle with per-VO queues and fair-share dispatch.
+
+    Identical core pool and event mechanics as
+    :class:`~repro.gridsim.site.ComputingElement`; the only change is
+    *which* queued job a free core takes: the head of the queue of the
+    VO minimising decayed ``usage/share``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_cores: int,
+        sim: Simulator,
+        *,
+        vo_shares: Iterable[tuple[str, float]],
+        fairshare_halflife: float = DEFAULT_HALFLIFE,
+        on_start: Callable[[Job], None] | None = None,
+    ) -> None:
+        super().__init__(name, n_cores, sim, on_start=on_start)
+        self.fairshare = FairShareState(vo_shares, fairshare_halflife)
+        self._vo_queues: list[deque[Job]] = [
+            deque() for _ in self.fairshare.names
+        ]
+        self._vo_husks = [0] * len(self.fairshare.names)
+
+    # -- queue operations ------------------------------------------------
+
+    def enqueue(self, job: Job) -> None:
+        if job.state not in (JobState.MATCHING, JobState.CREATED):
+            raise ValueError(f"cannot enqueue job in state {job.state}")
+        job.state = JobState.QUEUED
+        job.site = self.name
+        job.queue_time = self.sim._now
+        self._vo_queues[self.fairshare.index_of(job.vo)].append(job)
+        if self.free_cores > 0 and self.dispatch_enabled:
+            self._try_start()
+
+    def cancel(self, job: Job) -> bool:
+        if job.state is JobState.QUEUED:
+            if job.site != self.name:
+                return False
+            job.state = JobState.CANCELLED
+            self._vo_husks[self.fairshare.index_of(job.vo)] += 1
+            return True
+        return super().cancel(job)
+
+    # -- internals -------------------------------------------------------
+
+    def _pop_next(self) -> tuple[Job | None, int]:
+        """Head job of the most underserved VO (husks dropped lazily)."""
+        candidates = []
+        for v, q in enumerate(self._vo_queues):
+            while q and q[0].state is not JobState.QUEUED:
+                q.popleft()
+                self._vo_husks[v] -= 1
+            if q:
+                candidates.append(v)
+        if not candidates:
+            return None, -1
+        v = self.fairshare.select(candidates, self.sim._now)
+        return self._vo_queues[v].popleft(), v
+
+    def _try_start(self) -> None:
+        if not self.dispatch_enabled:
+            return
+        while self.free_cores > 0:
+            job, v = self._pop_next()
+            if job is None:
+                return
+            self.free_cores -= 1
+            job.state = JobState.RUNNING
+            job.start_time = self.sim._now
+            self.jobs_started += 1
+            # charge before the callback: a re-entrant cancel must see
+            # updated usage
+            self.fairshare.charge(v, job.runtime, self.sim._now)
+            job.completion_event = self.sim.schedule(
+                job.runtime, partial(self._complete, job)
+            )
+            self.running_jobs[job.job_id] = job
+            if self.on_start is not None and job.tag != "background":
+                self.on_start(job)
+
+    def _complete(self, job: Job) -> None:
+        job.completion_event = None
+        self.running_jobs.pop(job.job_id, None)
+        if job.state is not JobState.RUNNING:
+            return  # killed in the meantime
+        job.state = JobState.COMPLETED
+        job.end_time = self.sim._now
+        self.jobs_completed += 1
+        self.free_cores += 1
+        if self.dispatch_enabled:
+            self._try_start()
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        return sum(map(len, self._vo_queues)) - sum(self._vo_husks)
+
+    def _vo_queue_pairs(self) -> list[tuple[str, int]]:
+        return [
+            (n, len(q) - h)
+            for n, q, h in zip(
+                self.fairshare.names, self._vo_queues, self._vo_husks
+            )
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FairShareCE({self.name}, cores={self.busy_cores}/{self.n_cores}, "
+            f"queued={self.queue_length})"
+        )
+
+
+class FairShareVectorComputingElement(_VoTelemetry, VectorComputingElement):
+    """Two-lane engine with VO-labelled background and fair-share commits.
+
+    The background lane grows a third chunk array (VO label per arrival);
+    arrived-but-unstarted work of *both* lanes waits in per-VO FIFOs and
+    the Lindley commit loop asks :class:`FairShareState` which VO the
+    next free core serves.  Background entries stay ``(arrival, runtime)``
+    tuples — still no events, no Job objects.
+
+    Lane pointers are re-purposed versus the base class: ``_bg_i`` counts
+    arrivals *pulled* into VO queues (they arrive ≤ now), not commits, so
+    ``background_delivered`` is simply ``_bg_done + _bg_i``.  The single
+    wake is aimed at the earliest predicted *client* start, computed by
+    replaying the identical commit loop on forked state; a later
+    background chunk can only postpone that instant (new work competes
+    for cores), never advance it, so a stale wake fires early, commits
+    nothing, and re-aims itself.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        n_cores: int,
+        sim: Simulator,
+        *,
+        vo_shares: Iterable[tuple[str, float]],
+        fairshare_halflife: float = DEFAULT_HALFLIFE,
+        on_start: Callable[[Job], None] | None = None,
+    ) -> None:
+        super().__init__(name, n_cores, sim, on_start=on_start)
+        self.fairshare = FairShareState(vo_shares, fairshare_halflife)
+        #: pending background VO labels, parallel to ``_bg_t``/``_bg_r``
+        self._bg_v: list[int] = []
+        #: arrived-unstarted entries per VO: background as
+        #: ``(arrival, runtime)`` tuples, clients as the Job itself
+        self._voq: list[deque] = [deque() for _ in self.fairshare.names]
+        self._vo_husks = [0] * len(self.fairshare.names)
+
+    # -- background lane ---------------------------------------------------
+
+    def feed_background(
+        self,
+        times: list[float],
+        runtimes: list[float],
+        vos: list[int] | None = None,
+    ) -> None:
+        """Append a chunk of VO-labelled background arrivals."""
+        if vos is None:
+            vos = [0] * len(times)
+        elif len(vos) != len(times):
+            raise ValueError(
+                f"vos has {len(vos)} entries for {len(times)} arrivals"
+            )
+        self._advance()
+        i = self._bg_i
+        if i:
+            del self._bg_t[:i]
+            del self._bg_r[:i]
+            del self._bg_v[:i]
+            self._bg_done += i
+            self._bg_i = 0
+        self._bg_t.extend(times)
+        self._bg_r.extend(runtimes)
+        self._bg_v.extend(vos)
+
+    def background_delivered(self) -> int:
+        self._advance()
+        return self._bg_done + self._bg_i
+
+    # -- queue operations ------------------------------------------------
+
+    def enqueue(self, job: Job) -> None:
+        if job.state not in (JobState.MATCHING, JobState.CREATED):
+            raise ValueError(f"cannot enqueue job in state {job.state}")
+        job.state = JobState.QUEUED
+        job.site = self.name
+        job.queue_time = self.sim._now
+        # reconcile first so background arrivals <= now sit ahead of the
+        # client in its VO FIFO (the base engine's bg-first tie rule)
+        self._advance()
+        self._voq[self.fairshare.index_of(job.vo)].append(job)
+        self._advance()  # a free core may start it this very instant
+        if job.state is JobState.QUEUED:
+            self._ensure_wake()
+
+    def cancel(self, job: Job) -> bool:
+        if job.state is JobState.QUEUED:
+            if job.site != self.name:
+                return False
+            job.state = JobState.CANCELLED
+            self._vo_husks[self.fairshare.index_of(job.vo)] += 1
+            # a removed competitor can advance any waiting client's
+            # predicted start: always re-aim
+            self._ensure_wake()
+            return True
+        return super().cancel(job)
+
+    # -- the fair-share commit loop ----------------------------------------
+
+    def _pull(self, upto: float) -> None:
+        """Move pending background arrivals with time <= ``upto`` into
+        their VO queues (they have arrived relative to the decision)."""
+        bg_t = self._bg_t
+        i = self._bg_i
+        n = len(bg_t)
+        if i >= n or bg_t[i] > upto:
+            return
+        bg_r, bg_v, voq = self._bg_r, self._bg_v, self._voq
+        while i < n and bg_t[i] <= upto:
+            voq[bg_v[i]].append((bg_t[i], bg_r[i]))
+            i += 1
+        self._bg_i = i
+
+    def _ready_candidates(self, d: float) -> list[int]:
+        """VOs whose head entry has arrived by ``d`` (husks dropped)."""
+        candidates = []
+        for v, q in enumerate(self._voq):
+            while q and isinstance(q[0], Job) and q[0].state is not JobState.QUEUED:
+                q.popleft()
+                self._vo_husks[v] -= 1
+            if q:
+                head = q[0]
+                arrival = head.queue_time if isinstance(head, Job) else head[0]
+                if arrival <= d:
+                    candidates.append(v)
+        return candidates
+
+    def _next_arrival(self) -> float | None:
+        """Earliest arrival not yet ready (queue heads + pending chunks)."""
+        a: float | None = None
+        if self._bg_i < len(self._bg_t):
+            a = self._bg_t[self._bg_i]
+        for q in self._voq:
+            if q:
+                head = q[0]
+                arrival = head.queue_time if isinstance(head, Job) else head[0]
+                if a is None or arrival < a:
+                    a = arrival
+        return a
+
+    def _advance(self) -> None:
+        """Commit every start with start time <= now, fair-share order.
+
+        Each iteration resolves one start: the decision instant ``d`` is
+        the first moment a free core and an arrived job coexist —
+        ``max(min core-free, dispatch floor)``, pushed up to the earliest
+        pending arrival when every queue is empty or still in the future
+        (the idle-core case, where the plain engine's ``max(arrival, m)``
+        applies).  All jobs arrived by ``d`` compete and the fair-share
+        state picks the VO; commits stop as soon as ``d`` passes now.
+        """
+        if not self.dispatch_enabled:
+            return
+        t = self.sim._now
+        fairshare = self.fairshare
+        while True:
+            cf = self._core_free
+            d = cf[0]
+            if self._dispatch_floor > d:
+                d = self._dispatch_floor
+            if d > t:
+                break
+            self._pull(d)
+            candidates = self._ready_candidates(d)
+            if not candidates:
+                a = self._next_arrival()
+                if a is None or a > t:
+                    break
+                d = a  # idle core: the next arrival starts the moment it lands
+                self._pull(d)
+                candidates = self._ready_candidates(d)
+                if not candidates:  # pragma: no cover - a just arrived
+                    break
+            v = fairshare.select(candidates, d)
+            entry = self._voq[v].popleft()
+            if isinstance(entry, Job):
+                heapreplace(cf, d + entry.runtime)
+                fairshare.charge(v, entry.runtime, d)
+                self._started += 1
+                self._start_client(entry, d)
+                # the callback may cancel siblings here or close the
+                # gate — state is re-read from self at the loop head
+                if not self.dispatch_enabled:
+                    return
+            else:
+                heapreplace(cf, d + entry[1])
+                fairshare.charge(v, entry[1], d)
+                self._started += 1
+        # telemetry contract: every arrival <= now waits in its VO queue
+        self._pull(t)
+
+    # -- the wake ----------------------------------------------------------
+
+    def _ensure_wake(self) -> None:
+        if not self.dispatch_enabled:
+            return  # re-armed by end_outage
+        s = self._predict_next_client_start()
+        w = self._wake
+        if s is None:
+            if w is not None:
+                w.cancel()
+                self._wake = None
+            return
+        if w is not None:
+            if not w.cancelled and w.time == s:
+                return
+            w.cancel()
+        self._wake = self.sim.schedule_at(s, self._on_wake)
+
+    def _predict_next_client_start(self) -> float | None:
+        """Earliest client start, by replaying the commit loop on forks.
+
+        Runs the exact :meth:`_advance` recurrence — heap, usage decay,
+        pulls, fair-share selection — on copies, stopping the moment a
+        client entry wins a core.  ``None`` when no client is queued.
+        """
+        any_client = any(
+            isinstance(e, Job) and e.state is JobState.QUEUED
+            for q in self._voq
+            for e in q
+        )
+        if not any_client:
+            return None
+        h = self._core_free.copy()
+        floor = self._dispatch_floor
+        usage = self.fairshare.fork()
+        queues: list[deque] = [
+            deque(
+                (e.queue_time, e.runtime, True)
+                if isinstance(e, Job)
+                else (e[0], e[1], False)
+                for e in q
+                if not (isinstance(e, Job) and e.state is not JobState.QUEUED)
+            )
+            for q in self._voq
+        ]
+        bg_t, bg_r, bg_v = self._bg_t, self._bg_r, self._bg_v
+        i, n = self._bg_i, len(bg_t)
+        while True:
+            d = h[0]
+            if floor > d:
+                d = floor
+            # pushed up to the next arrival when nothing has arrived by d
+            # (same idle-core rule as _advance)
+            while True:
+                while i < n and bg_t[i] <= d:
+                    queues[bg_v[i]].append((bg_t[i], bg_r[i], False))
+                    i += 1
+                candidates = [
+                    v for v, q in enumerate(queues) if q and q[0][0] <= d
+                ]
+                if candidates:
+                    break
+                a = bg_t[i] if i < n else None
+                for q in queues:
+                    if q and (a is None or q[0][0] < a):
+                        a = q[0][0]
+                if a is None:  # pragma: no cover - a queued client remains
+                    return None
+                d = a
+            v = usage.select(candidates, d)
+            _, rt, is_client = queues[v].popleft()
+            if is_client:
+                return d
+            heapreplace(h, d + rt)
+            usage.charge(v, rt, d)
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def queue_length(self) -> int:
+        self._advance()
+        return sum(map(len, self._voq)) - sum(self._vo_husks)
+
+    def _vo_queue_pairs(self) -> list[tuple[str, int]]:
+        self._advance()
+        return [
+            (n, len(q) - h)
+            for n, q, h in zip(self.fairshare.names, self._voq, self._vo_husks)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FairShareVectorCE({self.name}, "
+            f"cores={self.busy_cores}/{self.n_cores}, "
+            f"queued={self.queue_length})"
+        )

@@ -1,0 +1,145 @@
+"""WMS federation: several brokers with partial, differently-stale views.
+
+Production grids run more than one Workload Management Server: each VO
+or region operates brokers that *own* a subset of the computing
+elements (they receive those sites' load reports on the normal
+information-system cadence) while the rest of the grid is visible only
+through the federated information system, which propagates with extra
+lag.  Jobs therefore route through brokers whose views disagree — a
+stronger version of the paper's §1 partial-information effect, and the
+reason two users submitting the same second can land on very different
+queues.
+
+:class:`FederatedBroker` extends the single
+:class:`~repro.gridsim.wms.WorkloadManager` with split refresh: owned
+sites re-measure every ``info_refresh`` seconds, remote sites every
+``info_refresh + info_lag``.  Match-making delay, ranking noise and the
+dispatch path are inherited unchanged, so a single broker owning every
+site with zero lag *is* the plain WMS (pinned byte-for-byte by
+``tests/test_federation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.gridsim.events import Simulator
+from repro.gridsim.site import ComputingElement
+from repro.gridsim.wms import WorkloadManager
+from repro.util.validation import check_nonnegative
+
+__all__ = ["BrokerConfig", "FederatedBroker"]
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Static description of one federated broker.
+
+    Attributes
+    ----------
+    name:
+        Broker label (e.g. ``"wms.cern"``).
+    sites:
+        Names of the computing elements this broker owns (fresh load
+        reports).  Every other site in the grid is still rankable, but
+        only through the lagged federated view.
+    info_lag:
+        Extra staleness (s) added to the information-system refresh
+        period for non-owned sites.  0 means the broker sees the whole
+        grid on the normal cadence.
+    """
+
+    name: str
+    sites: tuple[str, ...]
+    info_lag: float = 600.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("broker name must be non-empty")
+        if not self.sites:
+            raise ValueError(f"broker {self.name!r} must own at least one site")
+        dupes = {s for s in self.sites if self.sites.count(s) > 1}
+        if dupes:
+            raise ValueError(
+                f"broker {self.name!r} lists duplicate site(s): "
+                f"{', '.join(sorted(dupes))}"
+            )
+        check_nonnegative("info_lag", self.info_lag)
+
+
+class FederatedBroker(WorkloadManager):
+    """A WMS with fresh estimates for owned sites, lagged for the rest."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        sites: Sequence[ComputingElement],
+        rng: np.random.Generator,
+        *,
+        owned: Sequence[str],
+        info_lag: float = 600.0,
+        name: str = "wms",
+        **kwargs,
+    ) -> None:
+        owned_set = set(owned)
+        unknown = owned_set - {s.name for s in sites}
+        if unknown:
+            raise ValueError(
+                f"broker {name!r} owns unknown site(s): "
+                f"{', '.join(sorted(unknown))}"
+            )
+        check_nonnegative("info_lag", info_lag)
+        self.name = name
+        self.info_lag = float(info_lag)
+        # resolved before super().__init__, which measures loads once
+        self._owned_idx = [
+            i for i, s in enumerate(sites) if s.name in owned_set
+        ]
+        self._remote_idx = [
+            i for i, s in enumerate(sites) if s.name not in owned_set
+        ]
+        self._remote_time = 0.0
+        super().__init__(sim, sites, rng, **kwargs)
+
+    # -- information system -------------------------------------------------
+
+    def _measure_loads(self) -> np.ndarray:
+        # the initial full measurement (constructor) also primes the
+        # remote view; afterwards owned/remote refresh independently
+        self._remote_time = self.sim.now
+        return super()._measure_loads()
+
+    def _refresh_partial(self, indices: list[int]) -> None:
+        loads = self._snapshot_list
+        sites = self.sites
+        guess = self.runtime_guess
+        for i in indices:
+            loads[i] = sites[i].estimated_wait(guess)
+        self._snapshot = np.asarray(loads)
+
+    def current_snapshot(self) -> np.ndarray:
+        """Owned sites on the normal cadence, remote with ``info_lag``."""
+        now = self.sim.now
+        if now - self._snapshot_time >= self.info_refresh:
+            self._refresh_partial(self._owned_idx)
+            self._snapshot_time = now
+        if (
+            self._remote_idx
+            and now - self._remote_time >= self.info_refresh + self.info_lag
+        ):
+            self._refresh_partial(self._remote_idx)
+            self._remote_time = now
+        return self._snapshot
+
+    def owned_sites(self) -> list[str]:
+        """Names of the sites this broker owns."""
+        return [self.sites[i].name for i in self._owned_idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FederatedBroker({self.name}, owns={len(self._owned_idx)}/"
+            f"{len(self.sites)} sites, lag={self.info_lag:g}s)"
+        )

@@ -19,7 +19,13 @@ import numpy as np
 
 from repro.gridsim.background import BackgroundLoad
 from repro.gridsim.events import Simulator
+from repro.gridsim.fairshare import (
+    FairShareComputingElement,
+    FairShareVectorComputingElement,
+    normalize_vo_shares,
+)
 from repro.gridsim.faults import FaultModel
+from repro.gridsim.federation import BrokerConfig, FederatedBroker
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.site import ComputingElement, VectorComputingElement
 from repro.gridsim.wms import WorkloadManager
@@ -34,6 +40,7 @@ __all__ = [
     "GridSnapshot",
     "configure_warm_cache",
     "default_grid_config",
+    "federated_grid_config",
     "warmed_grid",
     "warmed_snapshot",
 ]
@@ -43,6 +50,17 @@ _SITE_ENGINES = {
     "vector": VectorComputingElement,
     "event": ComputingElement,
 }
+
+#: fair-share flavour of each site engine (sites declaring >= 2 VOs)
+_FAIRSHARE_ENGINES = {
+    "vector": FairShareVectorComputingElement,
+    "event": FairShareComputingElement,
+}
+
+
+def _default_site_engine() -> str:
+    """Engine default, overridable via ``REPRO_SITE_ENGINE`` (CI matrix)."""
+    return os.environ.get("REPRO_SITE_ENGINE", "vector")
 
 
 @dataclass(frozen=True)
@@ -60,6 +78,16 @@ class SiteConfig:
         saturated production regime).
     runtime_median, runtime_sigma:
         Log-normal parameters of background job runtimes.
+    vo_shares:
+        ``(vo_name, share)`` pairs declaring the site's fair-share
+        allocation.  Empty or a single entry keeps the site on the plain
+        FIFO engines (exactly today's behaviour); two or more switch it
+        to the fair-share engines with per-VO queues.
+    vo_traffic:
+        Optional ``(vo_name, weight)`` pairs for the *background traffic*
+        mix (defaults to ``vo_shares`` — production demand proportional
+        to allocation).  Skewing it away from the shares models a VO
+        overdriving its allocation.
     """
 
     name: str
@@ -67,6 +95,8 @@ class SiteConfig:
     utilization: float = 0.9
     runtime_median: float = 3600.0
     runtime_sigma: float = 0.8
+    vo_shares: tuple[tuple[str, float], ...] = ()
+    vo_traffic: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -88,9 +118,19 @@ class GridConfig:
     diurnal_amplitude:
         Amplitude of the shared daily load modulation (0 disables).
     site_engine:
-        ``"vector"`` (default) runs sites on the two-lane
-        :class:`~repro.gridsim.site.VectorComputingElement`;
+        ``"vector"`` (default, or ``REPRO_SITE_ENGINE``) runs sites on
+        the two-lane :class:`~repro.gridsim.site.VectorComputingElement`;
         ``"event"`` keeps the fully event-driven oracle.
+    fairshare_halflife:
+        Decay half-life (s) of the per-VO usage window on fair-share
+        sites (``math.inf`` disables decay).
+    brokers:
+        Federated WMS brokers (:class:`~repro.gridsim.federation.BrokerConfig`).
+        Empty keeps the single all-seeing WMS — today's behaviour,
+        byte-for-byte.  With brokers, submissions route round-robin (or
+        explicitly via :meth:`GridSimulator.submit`'s ``via``) and each
+        broker ranks owned sites on fresh estimates, the rest through
+        the lagged federated view.
     """
 
     sites: tuple[SiteConfig, ...]
@@ -100,7 +140,9 @@ class GridConfig:
     ranking_noise: float = 0.3
     faults: FaultModel = field(default_factory=FaultModel)
     diurnal_amplitude: float = 0.0
-    site_engine: str = "vector"
+    site_engine: str = field(default_factory=_default_site_engine)
+    fairshare_halflife: float = 86_400.0
+    brokers: tuple[BrokerConfig, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -110,6 +152,52 @@ class GridConfig:
                 f"unknown site_engine {self.site_engine!r}; "
                 f"available: {', '.join(_SITE_ENGINES)}"
             )
+        names = [sc.name for sc in self.sites]
+        dupes = sorted({n for n in names if names.count(n) > 1})
+        if dupes:
+            raise ValueError(
+                f"duplicate site name(s): {', '.join(dupes)} — site names "
+                "key cancellation and broker ownership, so they must be "
+                "unique"
+            )
+        for sc in self.sites:
+            if int(sc.n_cores) < 1:
+                raise ValueError(
+                    f"site {sc.name!r} must have >= 1 core, got {sc.n_cores}"
+                )
+            if sc.vo_shares:
+                shares = normalize_vo_shares(sc.vo_shares)
+                if sc.vo_traffic:
+                    known = {n for n, _ in shares}
+                    stray = [n for n, _ in sc.vo_traffic if n not in known]
+                    if stray:
+                        raise ValueError(
+                            f"site {sc.name!r}: vo_traffic names VO(s) "
+                            f"absent from vo_shares: {', '.join(stray)}"
+                        )
+            elif sc.vo_traffic:
+                raise ValueError(
+                    f"site {sc.name!r} sets vo_traffic without vo_shares"
+                )
+        if not self.fairshare_halflife > 0.0:
+            raise ValueError(
+                f"fairshare_halflife must be > 0, got {self.fairshare_halflife!r}"
+            )
+        if self.brokers:
+            bnames = [b.name for b in self.brokers]
+            bdupes = sorted({n for n in bnames if bnames.count(n) > 1})
+            if bdupes:
+                raise ValueError(
+                    f"duplicate broker name(s): {', '.join(bdupes)}"
+                )
+            site_names = set(names)
+            for b in self.brokers:
+                stray = [s for s in b.sites if s not in site_names]
+                if stray:
+                    raise ValueError(
+                        f"broker {b.name!r} owns unknown site(s): "
+                        f"{', '.join(stray)}"
+                    )
 
 
 def default_grid_config(
@@ -146,13 +234,74 @@ def default_grid_config(
     )
 
 
+def federated_grid_config(
+    *,
+    n_sites: int = 8,
+    n_brokers: int = 2,
+    vo_shares: tuple[tuple[str, float], ...] = (
+        ("biomed", 0.5),
+        ("atlas", 0.3),
+        ("cms", 0.2),
+    ),
+    seed: int = 7,
+    utilization: float = 0.85,
+    info_lag: float = 900.0,
+    p_lost: float = 0.02,
+    p_stuck: float = 0.02,
+) -> GridConfig:
+    """A multi-VO, multi-broker variant of :func:`default_grid_config`.
+
+    Sites are drawn like the default config (heterogeneous cores and
+    runtimes) but declare ``vo_shares`` fair-share allocations, and
+    ``n_brokers`` federated brokers each own a contiguous slice of the
+    sites with ``info_lag`` staleness towards the rest.
+    """
+    if n_sites < 1:
+        raise ValueError(f"n_sites must be >= 1, got {n_sites}")
+    if not 1 <= n_brokers <= n_sites:
+        raise ValueError(
+            f"n_brokers must be in [1, n_sites={n_sites}], got {n_brokers}"
+        )
+    rng = np.random.default_rng(seed)
+    cores_choices = np.array([16, 24, 32, 48, 64, 96, 128])
+    sites = tuple(
+        SiteConfig(
+            name=f"ce{i:02d}",
+            n_cores=int(rng.choice(cores_choices)),
+            utilization=float(utilization * rng.uniform(0.9, 1.05)),
+            runtime_median=float(rng.uniform(1800.0, 7200.0)),
+            runtime_sigma=float(rng.uniform(0.6, 1.1)),
+            vo_shares=vo_shares,
+        )
+        for i in range(n_sites)
+    )
+    bounds = np.linspace(0, n_sites, n_brokers + 1).round().astype(int)
+    brokers = tuple(
+        BrokerConfig(
+            name=f"wms-{k}",
+            sites=tuple(s.name for s in sites[bounds[k] : bounds[k + 1]]),
+            info_lag=info_lag,
+        )
+        for k in range(n_brokers)
+    )
+    return GridConfig(
+        sites=sites,
+        faults=FaultModel(p_lost=p_lost, p_stuck=p_stuck),
+        brokers=brokers,
+    )
+
+
 class GridSimulator:
     """Executable grid built from a :class:`GridConfig`."""
 
     def __init__(self, config: GridConfig, seed: RngLike = None) -> None:
         self.config = config
         self.sim = Simulator()
-        rngs = spawn_rngs(as_rng(seed), 2 + len(config.sites))
+        # extra broker streams are appended *after* the historical
+        # 2 + n_sites children, so degenerate (broker-free) configs keep
+        # every RNG stream byte-identical to the original layout
+        n_extra_brokers = max(0, len(config.brokers) - 1)
+        rngs = spawn_rngs(as_rng(seed), 2 + len(config.sites) + n_extra_brokers)
         self._fault_rng = rngs[0]
         diurnal = (
             DiurnalProfile(amplitude=config.diurnal_amplitude)
@@ -160,19 +309,52 @@ class GridSimulator:
             else None
         )
         site_cls = _SITE_ENGINES[config.site_engine]
+        fairshare_cls = _FAIRSHARE_ENGINES[config.site_engine]
         self.sites = [
-            site_cls(sc.name, sc.n_cores, self.sim, on_start=self._notify_start)
+            fairshare_cls(
+                sc.name,
+                sc.n_cores,
+                self.sim,
+                vo_shares=sc.vo_shares,
+                fairshare_halflife=config.fairshare_halflife,
+                on_start=self._notify_start,
+            )
+            if len(sc.vo_shares) >= 2
+            else site_cls(
+                sc.name, sc.n_cores, self.sim, on_start=self._notify_start
+            )
             for sc in config.sites
         ]
-        self.wms = WorkloadManager(
-            self.sim,
-            self.sites,
-            rngs[1],
+        wms_kwargs = dict(
             matchmaking_median=config.matchmaking_median,
             matchmaking_sigma=config.matchmaking_sigma,
             info_refresh=config.info_refresh,
             ranking_noise=config.ranking_noise,
         )
+        if config.brokers:
+            broker_rngs = [rngs[1], *rngs[2 + len(config.sites):]]
+            self.brokers = [
+                FederatedBroker(
+                    self.sim,
+                    self.sites,
+                    rng,
+                    owned=bc.sites,
+                    info_lag=bc.info_lag,
+                    name=bc.name,
+                    **wms_kwargs,
+                )
+                for bc, rng in zip(config.brokers, broker_rngs)
+            ]
+        else:
+            self.brokers = [
+                WorkloadManager(self.sim, self.sites, rngs[1], **wms_kwargs)
+            ]
+        #: the primary broker (the only one on broker-free grids)
+        self.wms = self.brokers[0]
+        self._broker_by_name = {
+            getattr(b, "name", str(i)): b for i, b in enumerate(self.brokers)
+        }
+        self._next_broker = 0
         self.background = [
             BackgroundLoad(
                 site,
@@ -182,8 +364,13 @@ class GridSimulator:
                 runtime_median=sc.runtime_median,
                 runtime_sigma=sc.runtime_sigma,
                 diurnal=diurnal,
+                vo_mix=(sc.vo_traffic or sc.vo_shares)
+                if len(sc.vo_shares) >= 2
+                else None,
             )
-            for site, sc, rng in zip(self.sites, config.sites, rngs[2:])
+            for site, sc, rng in zip(
+                self.sites, config.sites, rngs[2 : 2 + len(config.sites)]
+            )
         ]
         for bg in self.background:
             bg.start()
@@ -220,6 +407,8 @@ class GridSimulator:
         self,
         job: Job,
         on_start: Callable[[Job], None] | None = None,
+        *,
+        via: int | str | None = None,
     ) -> Job:
         """Submit a job through the fault-prone middleware path.
 
@@ -229,6 +418,11 @@ class GridSimulator:
             A fresh :class:`Job` (state CREATED).
         on_start:
             Callback fired the moment the job starts on a worker.
+        via:
+            Broker to route through on federated grids — an index into
+            :attr:`brokers`, a broker name, or ``None`` for the default
+            policy (round-robin across brokers; the single WMS when the
+            grid has no federation).
         """
         job.submit_time = self.sim.now
         self.jobs_submitted += 1
@@ -244,8 +438,32 @@ class GridSimulator:
             job.state = JobState.STUCK
             self.jobs_stuck += 1
             return job
-        self.wms.submit(job)
+        self.broker_for(via).submit(job)
         return job
+
+    def broker_for(self, via: int | str | None = None) -> WorkloadManager:
+        """Resolve a submission's broker (see :meth:`submit`)."""
+        brokers = self.brokers
+        if via is None:
+            if len(brokers) == 1:
+                return brokers[0]
+            broker = brokers[self._next_broker]
+            self._next_broker = (self._next_broker + 1) % len(brokers)
+            return broker
+        if isinstance(via, str):
+            try:
+                return self._broker_by_name[via]
+            except KeyError:
+                raise ValueError(
+                    f"unknown broker {via!r}; available: "
+                    f"{', '.join(self._broker_by_name)}"
+                ) from None
+        if not 0 <= via < len(brokers):
+            raise ValueError(
+                f"broker index {via} out of range; this grid has "
+                f"{len(brokers)} broker(s)"
+            )
+        return brokers[via]
 
     def cancel(self, job: Job) -> None:
         """Cancel a job wherever it is (matching, queued, running, stuck)."""

@@ -61,6 +61,10 @@ class Job:
         Name of the computing element the job was dispatched to.
     tag:
         Free-form owner tag (used by strategy executors to group copies).
+    vo:
+        Virtual organisation the job is accounted to.  Empty means "the
+        site's default VO" — fair-share sites map it to their first
+        configured VO, plain FIFO sites ignore it entirely.
     """
 
     runtime: float = 0.0
@@ -72,6 +76,7 @@ class Job:
     queue_time: float = float("nan")
     site: str = ""
     tag: str = ""
+    vo: str = ""
     #: completion Event while RUNNING (owned by the executing site)
     completion_event: object | None = field(default=None, repr=False, compare=False)
 

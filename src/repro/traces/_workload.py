@@ -1,0 +1,63 @@
+"""Shared workload-array parsing for the SWF/GWF replay views.
+
+Both archive formats put SubmitTime in field 1 and RunTime in field 3 of
+a whitespace-separated record and differ only in their comment prefix,
+so the replay-oriented readers (:func:`repro.traces.swf.read_swf_workload`,
+:func:`repro.traces.gwf.read_gwf_workload`) delegate here.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import TextIO
+
+import numpy as np
+
+__all__ = ["parse_workload_arrays"]
+
+
+def parse_workload_arrays(
+    source: str | Path | TextIO,
+    *,
+    comment: str,
+    fmt: str,
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(arrivals, runtimes)`` from an SWF/GWF-shaped record stream.
+
+    Jobs with missing or non-positive runtimes are dropped (they held no
+    core); arrivals are sorted and rebased so the first lands at 0.
+    """
+    should_close = isinstance(source, (str, Path))
+    fh: TextIO = open(source, "r", encoding="utf-8") if should_close else source
+    try:
+        submit, run = [], []
+        for line_no, line in enumerate(fh, start=1):
+            stripped = line.strip()
+            if not stripped or stripped.startswith(comment):
+                continue
+            parts = stripped.split()
+            if len(parts) < 4:
+                raise ValueError(
+                    f"{fmt} line {line_no}: expected >= 4 fields, got {len(parts)}"
+                )
+            try:
+                submit_time = float(parts[1])
+                run_time = float(parts[3])
+            except ValueError as exc:
+                raise ValueError(
+                    f"{fmt} line {line_no}: malformed numeric field"
+                ) from exc
+            if run_time <= 0.0:
+                continue
+            submit.append(max(submit_time, 0.0))
+            run.append(run_time)
+        if not submit:
+            raise ValueError(f"{fmt} source contains no replayable job records")
+    finally:
+        if should_close:
+            fh.close()
+    arrivals = np.asarray(submit, dtype=np.float64)
+    runtimes = np.asarray(run, dtype=np.float64)
+    order = np.argsort(arrivals, kind="stable")
+    arrivals = arrivals[order]
+    return arrivals - arrivals[0], runtimes[order]

@@ -17,10 +17,11 @@ from typing import TextIO
 
 import numpy as np
 
+from repro.traces._workload import parse_workload_arrays
 from repro.traces.dataset import TraceSet
 from repro.traces.records import PROBE_TIMEOUT
 
-__all__ = ["GWF_FIELDS", "read_gwf", "write_gwf"]
+__all__ = ["GWF_FIELDS", "read_gwf", "read_gwf_workload", "write_gwf"]
 
 #: the 29 GWF fields, in file order
 GWF_FIELDS: tuple[str, ...] = (
@@ -136,6 +137,19 @@ def read_gwf(
     finally:
         if should_close:
             fh.close()
+
+
+def read_gwf_workload(
+    source: str | Path | TextIO,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Parse a GWF trace into replayable ``(arrivals, runtimes)`` arrays.
+
+    The workload view (SubmitTime + RunTime) for the trace-replay bridge
+    (:class:`~repro.gridsim.replay.TraceReplayLoad`); jobs with missing
+    or non-positive runtimes are dropped, arrivals are sorted and
+    rebased so the first lands at 0.
+    """
+    return parse_workload_arrays(source, comment="#", fmt="GWF")
 
 
 def write_gwf(trace: TraceSet, target: str | Path | TextIO) -> None:

@@ -14,10 +14,11 @@ from typing import TextIO
 
 import numpy as np
 
+from repro.traces._workload import parse_workload_arrays
 from repro.traces.dataset import TraceSet
 from repro.traces.records import PROBE_TIMEOUT
 
-__all__ = ["SWF_FIELDS", "read_swf", "write_swf"]
+__all__ = ["SWF_FIELDS", "read_swf", "read_swf_workload", "write_swf"]
 
 #: the 18 SWF fields, in file order
 SWF_FIELDS: tuple[str, ...] = (
@@ -96,6 +97,21 @@ def read_swf(
     finally:
         if should_close:
             fh.close()
+
+
+def read_swf_workload(
+    source: str | Path | TextIO,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Parse an SWF trace into replayable ``(arrivals, runtimes)`` arrays.
+
+    This is the workload view (SubmitTime + RunTime) rather than the
+    latency view of :func:`read_swf`: it feeds the trace-replay bridge
+    (:class:`~repro.gridsim.replay.TraceReplayLoad`), which streams the
+    recorded production jobs through the vectorised background lane.
+    Jobs with missing or non-positive runtimes are dropped (they held no
+    core); arrivals are sorted and rebased so the first lands at 0.
+    """
+    return parse_workload_arrays(source, comment=";", fmt="SWF")
 
 
 def write_swf(trace: TraceSet, target: str | Path | TextIO) -> None:

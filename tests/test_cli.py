@@ -69,6 +69,47 @@ class TestDescribe:
         assert "unknown trace set" in text
 
 
+class TestFederation:
+    def test_runs_small_population(self):
+        code, text = run_cli(
+            "federation",
+            "--sites", "4",
+            "--brokers", "2",
+            "--tasks", "120",
+            "--window", "7200",
+        )
+        assert code == 0
+        assert "biomed/adopters" in text
+        assert "broker dispatches" in text
+        assert "end-state fair-share usage" in text
+
+    def test_single_vo_single_broker(self):
+        code, text = run_cli(
+            "federation",
+            "--sites", "3",
+            "--brokers", "1",
+            "--vos", "solo:1.0",
+            "--tasks", "60",
+            "--adoption", "0",
+            "--window", "3600",
+        )
+        assert code == 0
+        assert "solo/SingleResubmission" in text
+        # 1 VO -> plain FIFO sites, no fair-share table
+        assert "end-state fair-share usage" not in text
+
+    def test_bad_arguments(self):
+        code, text = run_cli("federation", "--vos", "oops")
+        assert code == 2 and "error" in text
+        code, text = run_cli("federation", "--adoption", "1.5")
+        assert code == 2 and "adoption" in text
+        code, text = run_cli("federation", "--sites", "2", "--brokers", "5")
+        assert code == 2 and "n_brokers" in text
+        # downstream grid-parameter errors also exit 2, no traceback
+        code, text = run_cli("federation", "--utilization", "2.0")
+        assert code == 2 and "error" in text and "utilization" in text
+
+
 class TestBench:
     def test_bench_invokes_harness_with_passthrough_flags(self):
         from repro.cli import _cmd_bench, build_parser

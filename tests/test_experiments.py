@@ -286,6 +286,37 @@ class TestAblations:
         assert all(abs(e - ref) / ref < 0.02 for e in e_j)
 
 
+class TestMultiVo:
+    def test_small_sweep_structure_and_claims(self):
+        res = run_experiment(
+            "multi-vo", n_tasks=600, adoption_levels=(0.0, 0.5, 1.0)
+        )
+        sweep, shares = res.tables
+        assert len(sweep.rows) == 3
+        rows = sweep.as_dicts()
+        # no adopters at 0%, no baseline column at 100%
+        assert rows[0]["mean J adopters"] == ""
+        assert rows[-1]["mean J biomed rest"] == ""
+        # burst width 3 doubles jobs/task once half the biomed VO adopts
+        assert float(rows[-1]["jobs/task"]) > float(rows[0]["jobs/task"]) + 0.5
+        # adopters beat their VO's single-submission baseline
+        adopters = float(rows[1]["mean J adopters"].rstrip("s"))
+        baseline = float(rows[1]["mean J biomed rest"].rstrip("s"))
+        assert adopters < baseline
+        # fair-share usage tracks the 50/30/20 allocation per site
+        for row in shares.as_dicts():
+            assert float(row["biomed"].strip("+%")) == pytest.approx(50, abs=8)
+        assert len(res.notes) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_tasks"):
+            run_experiment("multi-vo", n_tasks=10)
+        with pytest.raises(ValueError, match="adoption levels"):
+            run_experiment("multi-vo", n_tasks=600, adoption_levels=(2.0,))
+        with pytest.raises(ValueError, match="b must be"):
+            run_experiment("multi-vo", n_tasks=600, b=1)
+
+
 class TestRender:
     def test_render_includes_tables_and_notes(self, ctx):
         res = run_experiment("table3", ctx=ctx)
