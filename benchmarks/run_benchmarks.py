@@ -11,6 +11,7 @@ metadata to interpret them.  Typical usage::
     python benchmarks/run_benchmarks.py            # run + compare vs baseline
     python benchmarks/run_benchmarks.py --update   # run + rewrite the baseline
     python benchmarks/run_benchmarks.py --suite benchmarks  # every bench file
+    python benchmarks/run_benchmarks.py --filter probe_day  # single bench
 
 A comparison fails (exit 1) when any benchmark's mean regresses by more
 than ``--threshold`` (default 1.5×) against the committed baseline, so CI
@@ -42,7 +43,9 @@ CORE_SUITES = [
 ]
 
 
-def run_pytest_benchmarks(suites: list[Path], *, large: bool = False) -> dict:
+def run_pytest_benchmarks(
+    suites: list[Path], *, large: bool = False, keyword: str | None = None
+) -> dict:
     """Run pytest-benchmark on ``suites`` and return the raw JSON report."""
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         report_path = Path(tmp.name)
@@ -61,6 +64,8 @@ def run_pytest_benchmarks(suites: list[Path], *, large: bool = False) -> dict:
         "-q",
         f"--benchmark-json={report_path}",
     ]
+    if keyword:
+        cmd += ["-k", keyword]
     try:
         proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
         if proc.returncode != 0:
@@ -171,18 +176,44 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help=(
             "also run the opt-in large-scale benches (sets "
-            "REPRO_BENCH_LARGE=1: the 10^4-task multi-VO adoption sweep)"
+            "REPRO_BENCH_LARGE=1: the 10^4-task multi-VO adoption sweep "
+            "and the 10^5-task population day)"
+        ),
+    )
+    parser.add_argument(
+        "--filter",
+        metavar="EXPR",
+        default=None,
+        help=(
+            "only run benchmarks matching this pytest -k expression "
+            "(e.g. 'probe_day'); the comparison covers just the selected "
+            "benches, and --update is refused so a partial run can never "
+            "clobber the committed baseline"
         ),
     )
     args = parser.parse_args(argv)
 
+    if args.update and args.filter:
+        raise SystemExit(
+            "--update with --filter would rewrite the baseline from a "
+            "partial run; drop one of the two"
+        )
+
     results = distill(
-        run_pytest_benchmarks([Path(s) for s in args.suite], large=args.large)
+        run_pytest_benchmarks(
+            [Path(s) for s in args.suite], large=args.large, keyword=args.filter
+        )
     )
     if not results:
         raise SystemExit("no benchmarks collected — is pytest-benchmark installed?")
 
     if args.update or not args.baseline.exists():
+        if args.filter:
+            raise SystemExit(
+                f"no baseline at {args.baseline} and this is a --filter run "
+                "— a partial run cannot seed the baseline; run once without "
+                "--filter first"
+            )
         if not args.update:
             print(f"no baseline at {args.baseline} — writing one")
         args.baseline.write_text(

@@ -93,6 +93,23 @@ def test_bench_probe_campaign(benchmark):
     assert len(trace) > 100
 
 
+def test_bench_probe_day(benchmark):
+    """Client-pipeline stress: a dense 64-slot probe-day.
+
+    Three times the §3.2 protocol's submission rate, so the windowed
+    dispatch buckets actually fill — this is the bench the batched WMS
+    lane (windowed buckets + pooled timeout timers + the reconciliation
+    fast path) is aimed at.
+    """
+
+    def campaign():
+        grid = warmed_grid(default_grid_config(), seed=5, duration=6 * 3600.0)
+        return ProbeExperiment(grid, n_slots=64).run(86_400.0)
+
+    trace = benchmark.pedantic(campaign, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(trace) > 1000
+
+
 def test_bench_saturated_site(benchmark):
     """Scenario: a 64-core site at utilisation 1.1 for three simulated days.
 

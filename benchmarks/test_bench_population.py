@@ -5,12 +5,13 @@ mixed user population (fair-share sites, two federated brokers, diurnal
 launches) at a moderate 2·10³ tasks, so regressions in the fair-share
 commit loop or the wake predictor show up in ``BENCH_core.json``.
 
-``test_bench_multi_vo_adoption_10k`` is the opt-in large-scale run
-(``REPRO_BENCH_LARGE=1`` or ``run_benchmarks.py --large``): the full
-``multi-vo`` experiment — the §8-style adoption sweep at 10⁴ tasks per
-point — whose rendered output is also the committed
-``benchmarks/results/multi-vo.txt`` artifact (identical to
-``repro run multi-vo``, which uses the same defaults).
+``test_bench_multi_vo_adoption_10k`` and ``test_bench_population_100k``
+are the opt-in large-scale runs (``REPRO_BENCH_LARGE=1`` or
+``run_benchmarks.py --large``): the full ``multi-vo`` experiment — the
+§8-style adoption sweep at 10⁴ tasks per point, whose rendered output is
+also the committed ``benchmarks/results/multi-vo.txt`` artifact — and a
+10⁵-task population day on a 4096-core fair-share grid, the regime the
+batched client-event pipeline is built for.
 """
 
 import os
@@ -54,6 +55,63 @@ def test_bench_multi_vo_population(benchmark):
     assert result.total_finished + result.total_gave_up == 2000
     assert result.total_gave_up < 100
     assert sum(result.broker_dispatches) > 2000
+
+
+@pytest.mark.skipif(
+    not RUN_LARGE, reason="set REPRO_BENCH_LARGE=1 (or --large) to run"
+)
+def test_bench_population_100k(benchmark):
+    """10⁵ tasks in one day on a fleet-scale grid (opt-in, --large).
+
+    The §8 population regime the batched client pipeline targets: a
+    16-site / 4096-core fair-share grid, four fleets totalling 10⁵
+    short tasks across a diurnal day — dispatch buckets fill with tens
+    of jobs, sibling bursts batch-cancel, and the run finishes
+    event-driven at the last task's completion.
+    """
+    from repro.gridsim import GridConfig, SiteConfig
+
+    sites = tuple(
+        SiteConfig(
+            name=f"big{i:02d}",
+            n_cores=256,
+            utilization=0.8,
+            runtime_median=1800.0,
+            vo_shares=(("biomed", 0.5), ("atlas", 0.3), ("cms", 0.2)),
+        )
+        for i in range(16)
+    )
+    config = GridConfig(sites=sites)
+    snap = warmed_snapshot(config, seed=41, duration=6 * 3600.0)
+    spec = PopulationSpec(
+        fleets=(
+            FleetSpec(
+                "biomed", SingleResubmission(t_inf=4000.0), 35_000, runtime=120.0
+            ),
+            FleetSpec(
+                "biomed",
+                MultipleSubmission(b=3, t_inf=4000.0),
+                15_000,
+                runtime=120.0,
+                label="biomed/adopters",
+            ),
+            FleetSpec(
+                "atlas", SingleResubmission(t_inf=4000.0), 30_000, runtime=120.0
+            ),
+            FleetSpec(
+                "cms", SingleResubmission(t_inf=4000.0), 20_000, runtime=120.0
+            ),
+        ),
+        window=86_400.0,
+        diurnal=DiurnalProfile(amplitude=0.4),
+    )
+
+    def run():
+        return run_population(snap.restore(), spec, seed=41)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.total_finished + result.total_gave_up == 100_000
+    assert result.total_finished > 80_000
 
 
 @pytest.mark.skipif(

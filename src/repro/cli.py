@@ -147,6 +147,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the opt-in large-scale benches (REPRO_BENCH_LARGE=1)",
     )
+    bench_p.add_argument(
+        "--filter",
+        metavar="EXPR",
+        default=None,
+        help=(
+            "only run benchmarks matching this pytest -k expression, "
+            "e.g. 'probe_day' (incompatible with --update)"
+        ),
+    )
 
     return parser
 
@@ -341,6 +350,8 @@ def _cmd_bench(args, out, runner=subprocess.call) -> int:
         cmd += ["--report", str(args.report)]
     if args.large:
         cmd.append("--large")
+    if args.filter:
+        cmd += ["--filter", args.filter]
     return runner(cmd)
 
 

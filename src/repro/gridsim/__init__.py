@@ -32,14 +32,18 @@ Fleets of strategy-running users per VO are driven by the companion
 :mod:`repro.population` package.
 """
 
-from repro.gridsim.events import Simulator
+from repro.gridsim.events import PooledTimer, Simulator
 from repro.gridsim.fairshare import (
     FairShareComputingElement,
     FairShareState,
     FairShareVectorComputingElement,
 )
 from repro.gridsim.faults import FaultModel
-from repro.gridsim.federation import BrokerConfig, FederatedBroker
+from repro.gridsim.federation import (
+    BatchedFederatedBroker,
+    BrokerConfig,
+    FederatedBroker,
+)
 from repro.gridsim.grid import (
     GridConfig,
     GridSimulator,
@@ -57,14 +61,18 @@ from repro.gridsim.outages import OutageProcess
 from repro.gridsim.probes import ProbeExperiment
 from repro.gridsim.replay import TraceReplayLoad, replay_arrays_from_trace
 from repro.gridsim.site import ComputingElement, VectorComputingElement
+from repro.gridsim.wms import BatchedWorkloadManager, WorkloadManager
 from repro.gridsim.client import (
     StrategyOutcome,
+    TaskCore,
+    launch_task,
     run_strategy_batch,
     run_strategy_on_grid,
 )
 
 __all__ = [
     "Simulator",
+    "PooledTimer",
     "FaultModel",
     "GridConfig",
     "SiteConfig",
@@ -72,6 +80,9 @@ __all__ = [
     "GridSnapshot",
     "BrokerConfig",
     "FederatedBroker",
+    "BatchedFederatedBroker",
+    "BatchedWorkloadManager",
+    "WorkloadManager",
     "ComputingElement",
     "VectorComputingElement",
     "FairShareComputingElement",
@@ -91,6 +102,8 @@ __all__ = [
     "OutageProcess",
     "ProbeExperiment",
     "StrategyOutcome",
+    "TaskCore",
+    "launch_task",
     "run_strategy_batch",
     "run_strategy_on_grid",
 ]

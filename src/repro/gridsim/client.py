@@ -18,6 +18,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -33,6 +34,7 @@ from repro.util.validation import check_positive
 
 __all__ = [
     "StrategyOutcome",
+    "TaskCore",
     "launch_task",
     "run_strategy_batch",
     "run_strategy_on_grid",
@@ -48,7 +50,10 @@ class StrategyOutcome:
     j:
         Realised total latencies of the tasks that succeeded (s).
     jobs_submitted:
-        Grid jobs submitted per successful task (copies + resubmissions).
+        Grid jobs submitted per task — the finished tasks first (aligned
+        with ``j``), then the partial counts of the tasks that gave up,
+        so the submission pressure of an unfinished campaign is not
+        silently dropped.
     gave_up:
         Tasks still unfinished when the simulation horizon was reached.
     """
@@ -64,30 +69,46 @@ class StrategyOutcome:
 
     @property
     def mean_jobs(self) -> float:
-        """Mean number of grid jobs per task."""
+        """Mean number of grid jobs per task (gave-up tasks included)."""
         return float(self.jobs_submitted.mean())
 
 
-class _TaskBase:
-    """Common bookkeeping for one task executed under a strategy.
+class TaskCore:
+    """Lifecycle core of one client task: copies, timers, batch cancel.
+
+    This is the single bookkeeping engine behind the strategy executors,
+    the probe slots (:mod:`repro.gridsim.probes`) and the population
+    driver (:mod:`repro.population`): it owns the done flag, the list of
+    in-flight copies and the armed timers, and settles the whole task in
+    one pass the moment a copy starts — cancelling every timer (O(1)
+    each on the pooled wheel) and batch-cancelling all sibling copies in
+    a single :meth:`GridSimulator.cancel_many` call.
+
+    Subclasses implement ``finished(winner)`` (what "the task is done"
+    means: record a latency, launch the next probe, …) and drive
+    :meth:`submit_copy` / :meth:`arm` according to their strategy.
 
     ``vo`` labels every submitted copy (fair-share sites account them to
     that VO) and ``via`` pins the broker on federated grids; the
-    defaults leave single-tenant grids byte-identical to before.
+    defaults leave single-tenant grids unperturbed.
     """
+
+    __slots__ = ("grid", "runtime", "vo", "via", "t_start", "jobs_used",
+                 "done", "active_jobs", "timers")
+
+    #: tag stamped on every submitted copy
+    tag = "task"
 
     def __init__(
         self,
         grid: GridSimulator,
         runtime: float,
-        results: list,
         *,
         vo: str = "",
         via: int | str | None = None,
     ) -> None:
         self.grid = grid
         self.runtime = runtime
-        self.results = results
         self.vo = vo
         self.via = via
         self.t_start = grid.now
@@ -96,30 +117,90 @@ class _TaskBase:
         self.active_jobs: list[Job] = []
         self.timers: list = []
 
-    def _submit_copy(self, on_start) -> Job:
-        job = Job(runtime=self.runtime, tag="task", vo=self.vo)
+    def submit_copy(self) -> Job:
+        """Submit one more copy of the task's payload."""
+        job = Job(runtime=self.runtime, tag=self.tag, vo=self.vo)
         self.jobs_used += 1
         self.active_jobs.append(job)
-        self.grid.submit(job, on_start=on_start, via=self.via)
+        self.grid.submit(job, on_start=self._on_start, via=self.via)
         return job
 
-    def _finish(self, winner: Job) -> None:
+    def submit_copies(self, n: int) -> list[Job]:
+        """Submit a burst of ``n`` copies through one middleware pass."""
+        runtime = self.runtime
+        tag = self.tag
+        vo = self.vo
+        jobs = [Job(runtime=runtime, tag=tag, vo=vo) for _ in range(n)]
+        self.jobs_used += n
+        self.active_jobs.extend(jobs)
+        self.grid.submit_many(jobs, self._on_start, via=self.via)
+        return jobs
+
+    def arm(self, delay: float, callback) -> object:
+        """Arm a cancellable timer (pooled under the batched WMS engine)."""
+        timer = self.grid.schedule_timeout(delay, callback)
+        self.timers.append(timer)
+        return timer
+
+    def _on_start(self, winner: Job) -> None:
         if self.done:
             # a sibling copy started in the same instant: kill the extra
             self.grid.cancel(winner)
             return
         self.done = True
+        self._settle(winner)
+        self.finished(winner)
+
+    def _settle(self, winner: Job | None) -> None:
+        """Cancel every timer and every copy other than ``winner``.
+
+        Also drops the task's references to its timers and copies: a
+        settled task owns nothing that still needs it, and releasing
+        the lists here lets plain reference counting reclaim the whole
+        task island instead of leaving timer↔task cycles for the
+        garbage collector to chase.
+        """
         for ev in self.timers:
             ev.cancel()
-        for job in self.active_jobs:
-            if job is not winner:
-                self.grid.cancel(job)
-        self.results.append(
-            (self.grid.now - self.t_start, self.jobs_used)
-        )
+        self.timers = []
+        active = self.active_jobs
+        self.active_jobs = []
+        if len(active) == 1 and active[0] is winner:
+            return  # the common single-copy win: nothing to cancel
+        others = [job for job in active if job is not winner]
+        if others:
+            self.grid.cancel_many(others)
+
+    def expire(self) -> None:
+        """Abandon the task: mark done and cancel everything in flight."""
+        if self.done:
+            return
+        self.done = True
+        self._settle(None)
+
+    def finished(self, winner: Job) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
 
-class _SingleTask(_TaskBase):
+class _StrategyTask(TaskCore):
+    """A task that records ``(total latency, jobs used)`` when it finishes."""
+
+    __slots__ = ("results", "on_done")
+
+    def __init__(self, grid, runtime, results, *, on_done=None, **kwargs) -> None:
+        super().__init__(grid, runtime, **kwargs)
+        self.results = results
+        self.on_done = on_done
+
+    def finished(self, winner: Job) -> None:
+        self.results.append((self.grid.now - self.t_start, self.jobs_used))
+        if self.on_done is not None:
+            self.on_done()
+
+
+class _SingleTask(_StrategyTask):
+    __slots__ = ("t_inf",)
+
     def __init__(self, grid, runtime, results, t_inf: float, **kwargs) -> None:
         super().__init__(grid, runtime, results, **kwargs)
         self.t_inf = t_inf
@@ -128,9 +209,8 @@ class _SingleTask(_TaskBase):
     def _round(self) -> None:
         if self.done:
             return
-        job = self._submit_copy(self._finish)
-        timer = self.grid.sim.schedule(self.t_inf, lambda: self._timeout(job))
-        self.timers.append(timer)
+        job = self.submit_copy()
+        self.arm(self.t_inf, partial(self._timeout, job))
 
     def _timeout(self, job: Job) -> None:
         if self.done:
@@ -139,7 +219,9 @@ class _SingleTask(_TaskBase):
         self._round()
 
 
-class _MultipleTask(_TaskBase):
+class _MultipleTask(_StrategyTask):
+    __slots__ = ("b", "t_inf")
+
     def __init__(
         self, grid, runtime, results, b: int, t_inf: float, **kwargs
     ) -> None:
@@ -151,19 +233,19 @@ class _MultipleTask(_TaskBase):
     def _round(self) -> None:
         if self.done:
             return
-        batch = [self._submit_copy(self._finish) for _ in range(self.b)]
-        timer = self.grid.sim.schedule(self.t_inf, lambda: self._timeout(batch))
-        self.timers.append(timer)
+        batch = self.submit_copies(self.b)
+        self.arm(self.t_inf, partial(self._timeout, batch))
 
     def _timeout(self, batch: list[Job]) -> None:
         if self.done:
             return
-        for job in batch:
-            self.grid.cancel(job)
+        self.grid.cancel_many(batch)
         self._round()
 
 
-class _DelayedTask(_TaskBase):
+class _DelayedTask(_StrategyTask):
+    __slots__ = ("t0", "t_inf")
+
     def __init__(
         self, grid, runtime, results, t0: float, t_inf: float, **kwargs
     ) -> None:
@@ -175,11 +257,9 @@ class _DelayedTask(_TaskBase):
     def _submit_next(self) -> None:
         if self.done:
             return
-        job = self._submit_copy(self._finish)
-        self.timers.append(
-            self.grid.sim.schedule(self.t_inf, lambda: self._cancel_copy(job))
-        )
-        self.timers.append(self.grid.sim.schedule(self.t0, self._submit_next))
+        job = self.submit_copy()
+        self.arm(self.t_inf, partial(self._cancel_copy, job))
+        self.arm(self.t0, self._submit_next)
 
     def _cancel_copy(self, job: Job) -> None:
         if self.done:
@@ -195,24 +275,43 @@ def launch_task(
     *,
     vo: str = "",
     via: int | str | None = None,
+    on_done=None,
 ):
     """Start one task executing ``strategy`` on the grid *now*.
 
     The task submits copies, arms timers and resubmits per the strategy
     until one copy starts; it then appends ``(total latency, jobs used)``
-    to ``results``.  ``vo`` labels the copies for fair-share accounting
+    to ``results`` and calls ``on_done`` (if given) — the hook the
+    campaign runners use to stop the simulator the instant their last
+    task completes.  ``vo`` labels the copies for fair-share accounting
     and ``via`` pins a broker on federated grids — this is the
     building block :mod:`repro.population` drives fleets with.
     """
     if isinstance(strategy, SingleResubmission):
-        return _SingleTask(grid, runtime, results, strategy.t_inf, vo=vo, via=via)
+        return _SingleTask(
+            grid, runtime, results, strategy.t_inf, vo=vo, via=via, on_done=on_done
+        )
     if isinstance(strategy, MultipleSubmission):
         return _MultipleTask(
-            grid, runtime, results, strategy.b, strategy.t_inf, vo=vo, via=via
+            grid,
+            runtime,
+            results,
+            strategy.b,
+            strategy.t_inf,
+            vo=vo,
+            via=via,
+            on_done=on_done,
         )
     if isinstance(strategy, DelayedResubmission):
         return _DelayedTask(
-            grid, runtime, results, strategy.t0, strategy.t_inf, vo=vo, via=via
+            grid,
+            runtime,
+            results,
+            strategy.t0,
+            strategy.t_inf,
+            vo=vo,
+            via=via,
+            on_done=on_done,
         )
     raise TypeError(f"unsupported strategy type {type(strategy).__name__}")
 
@@ -231,7 +330,12 @@ def run_strategy_on_grid(
     Tasks are launched every ``task_interval`` virtual seconds (staggered,
     as an application workflow would); each runs the strategy until one of
     its copies starts.  The simulation is advanced until all tasks finish
-    or ``horizon`` virtual seconds elapse.
+    or ``horizon`` virtual seconds elapse — event-driven: the last task's
+    completion stops the simulator at that exact instant (no polling), so
+    a saturated grid burns through its horizon in one ``run_until`` call
+    instead of spinning an hourly advance loop.  Tasks that gave up keep
+    their partial job counts in ``jobs_submitted`` (after the finished
+    tasks' counts) rather than being dropped.
 
     Parameters
     ----------
@@ -260,17 +364,33 @@ def run_strategy_on_grid(
     ):
         raise TypeError(f"unsupported strategy type {type(strategy).__name__}")
 
+    tasks: list[_StrategyTask] = []
+    pending = [n_tasks]
+
+    def on_done() -> None:
+        pending[0] -= 1
+        if pending[0] == 0:
+            grid.sim.stop()
+
     def launch() -> None:
-        launch_task(grid, strategy, runtime, results)
+        tasks.append(
+            launch_task(grid, strategy, runtime, results, on_done=on_done)
+        )
     for i in range(n_tasks):
         grid.sim.schedule_at(grid.now + i * task_interval, launch)
 
-    deadline = grid.now + horizon
-    while grid.now < deadline and len(results) < n_tasks:
-        grid.run_until(min(grid.now + 3600.0, deadline))
+    grid.run_until(grid.now + horizon)
 
     j = np.array([r[0] for r in results])
-    jobs = np.array([r[1] for r in results], dtype=np.int64)
+    # finished tasks first (aligned with j), then the gave-up stragglers'
+    # partial submission counts; tasks the horizon cut off before their
+    # launch instant contribute zero jobs
+    jobs = np.array(
+        [r[1] for r in results]
+        + [t.jobs_used for t in tasks if not t.done]
+        + [0] * (n_tasks - len(tasks)),
+        dtype=np.int64,
+    )
     if j.size == 0:
         raise RuntimeError(
             "no task finished within the horizon — grid saturated or "

@@ -12,22 +12,43 @@ a C-level lexicographic pass, an order of magnitude cheaper than the
 sift, while the slotted :class:`Event` handle keeps O(1) lazy
 cancellation and the ``(time, seq)`` FIFO tie-break unchanged.
 
-Two bulk facilities keep the kernel cheap under heavy load:
+Three bulk facilities keep the kernel cheap under heavy load:
 
 * :meth:`Simulator.schedule_many` pushes a pre-sorted batch of events in
   one tight loop (used by the chunked background-load streams);
 * cancelled husks are compacted away once they dominate the heap, so
   long campaigns that cancel many timers (probe timeouts, strategy
-  resubmission timers) do not drag an ever-growing heap behind them.
+  resubmission timers) do not drag an ever-growing heap behind them;
+* :meth:`Simulator.schedule_pooled` is a coarse timer wheel for the
+  overwhelmingly-cancelled client timeouts: timers are pooled into
+  buckets of :attr:`Simulator.pooled_granularity` seconds, one heap
+  event fires a whole bucket, and cancelling a pooled timer is a flag
+  flip that never touches the heap (a bucket whose every timer was
+  cancelled cancels its own heap event).  Pooled timers fire at the
+  bucket boundary — their deadline rounded *up* by at most one
+  granule — so they are for timeouts, never for exact-time events.
+
+:meth:`Simulator.stop` lets a callback end :meth:`Simulator.run_until`
+at the current instant (used by the client layer to finish a campaign
+the moment its last task completes, instead of polling the clock).
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
+from functools import partial
 from typing import Callable, Iterable
 
-__all__ = ["Event", "Simulator"]
+__all__ = ["Event", "PooledTimer", "Simulator"]
+
+#: default width (s) of a pooled-timer bucket; coarse relative to the
+#: strategy/probe timeouts that ride the wheel (10³–10⁴ s), so the
+#: ≤ one-granule firing lateness stays a ~1% effect on the rare timer
+#: that actually fires, while campaigns arming a few timers per minute
+#: already share buckets
+_POOLED_GRANULARITY = 60.0
 
 #: never compact below this many husks — small heaps are cheap anyway
 _COMPACT_MIN = 1024
@@ -66,6 +87,61 @@ class Event:
         return f"Event(t={self.time:g}, seq={self.seq}{state})"
 
 
+class _TimerBucket:
+    """One wheel slot: the timers pooled at a shared boundary event."""
+
+    __slots__ = ("timers", "live", "event", "sim", "boundary")
+
+    def __init__(self, sim: "Simulator", boundary: float) -> None:
+        self.timers: list[PooledTimer] = []
+        self.live = 0
+        self.event: Event | None = None
+        self.sim = sim
+        self.boundary = boundary
+
+
+class PooledTimer:
+    """A cancellable timer pooled on the wheel (see ``schedule_pooled``).
+
+    Cancellation is O(1) and heap-free: the timer flags itself and
+    decrements its bucket's live count; when a bucket's count hits zero
+    the bucket cancels its single heap event and unhooks itself from the
+    wheel, so fully-cancelled windows cost the kernel nothing but one
+    husk — and never linger as live objects the garbage collector has to
+    keep scanning.
+    """
+
+    __slots__ = ("callback", "cancelled", "_bucket")
+
+    def __init__(self, callback: Callable[[], None], bucket: "_TimerBucket") -> None:
+        self.callback = callback
+        self.cancelled = False
+        self._bucket = bucket
+
+    def cancel(self) -> None:
+        """Flag the timer so its bucket skips it (never touches the heap)."""
+        if self.cancelled:
+            return
+        self.cancelled = True
+        self.callback = None
+        bucket = self._bucket
+        if bucket is not None:
+            bucket.live -= 1
+            if bucket.live == 0:
+                # the whole bucket died: drop it from the wheel so the
+                # only trace left is one heap husk (reclaimed by
+                # compaction) instead of a leaked bucket + timer list.
+                # The identity check protects a bucket re-armed at the
+                # same boundary (a zero-delay re-arm during the fire)
+                if bucket.event is not None:
+                    bucket.event.cancel()
+                    bucket.event = None
+                pool = bucket.sim._pool
+                if pool.get(bucket.boundary) is bucket:
+                    del pool[bucket.boundary]
+            self._bucket = None
+
+
 class Simulator:
     """Event loop: schedule callbacks, advance virtual time."""
 
@@ -76,6 +152,11 @@ class Simulator:
         self._processed = 0
         self._cancelled = 0
         self._compactions = 0
+        self._stop_requested = False
+        #: pooled-timer buckets keyed by their boundary instant
+        self._pool: dict[float, _TimerBucket] = {}
+        #: bucket width (s) of the pooled timer wheel
+        self.pooled_granularity = _POOLED_GRANULARITY
 
     @property
     def now(self) -> float:
@@ -150,6 +231,47 @@ class Simulator:
             push(heap, (time, ev.seq, ev))
         return events
 
+    # -- pooled timer wheel ----------------------------------------------
+
+    def schedule_pooled(self, delay: float, callback: Callable[[], None]) -> PooledTimer:
+        """Arm a cancellable timer on the coarse wheel.
+
+        The timer fires at its deadline rounded **up** to the next
+        multiple of :attr:`pooled_granularity` — late by less than one
+        granule, never early.  All timers sharing a boundary ride one
+        heap event; arming is a list append and cancelling a flag flip,
+        so the overwhelmingly-cancelled client timeouts (probe slots,
+        strategy ``t_inf`` timers) stop paying a heap push plus husk
+        each.  Use :meth:`schedule` for anything that must fire at an
+        exact instant.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        g = self.pooled_granularity
+        boundary = math.ceil((self._now + delay) / g) * g
+        bucket = self._pool.get(boundary)
+        if bucket is None:
+            # first timer at this boundary (a fully-cancelled bucket
+            # removes itself, so a stale hit is impossible)
+            bucket = _TimerBucket(self, boundary)
+            self._pool[boundary] = bucket
+            bucket.event = self.schedule_at(boundary, partial(self._fire_pool, boundary))
+        timer = PooledTimer(callback, bucket)
+        bucket.timers.append(timer)
+        bucket.live += 1
+        return timer
+
+    def _fire_pool(self, boundary: float) -> None:
+        bucket = self._pool.pop(boundary)
+        bucket.event = None
+        for timer in bucket.timers:
+            if not timer.cancelled:
+                timer.cancelled = True  # fired timers are spent
+                timer._bucket = None
+                callback = timer.callback
+                timer.callback = None  # break the timer→owner cycle now
+                callback()
+
     # -- husk compaction -----------------------------------------------------
 
     def _note_cancel(self) -> None:
@@ -175,10 +297,26 @@ class Simulator:
 
     # -- event loop ----------------------------------------------------------
 
+    def stop(self) -> None:
+        """Ask the running loop to return after the current callback.
+
+        Called from inside an event callback; the surrounding
+        :meth:`run_until` / :meth:`run_until_idle` returns with the
+        clock at the current instant (not advanced to ``t_end``), so a
+        campaign can end the moment its completion condition is met
+        instead of polling.  A no-op outside a run.
+        """
+        self._stop_requested = True
+
     def run_until(self, t_end: float) -> None:
-        """Process events with ``time <= t_end``; clock ends at ``t_end``."""
+        """Process events with ``time <= t_end``; clock ends at ``t_end``.
+
+        If a callback calls :meth:`stop`, the loop returns immediately
+        with the clock left at that callback's instant.
+        """
         if t_end < self._now:
             raise ValueError(f"t_end={t_end} is before now={self._now}")
+        self._stop_requested = False
         heap = self._heap
         pop = heapq.heappop
         while heap and heap[0][0] <= t_end:
@@ -193,11 +331,18 @@ class Simulator:
             # as a pending husk
             ev.sim = None
             ev.callback()
+            if self._stop_requested:
+                self._stop_requested = False
+                return
         self._now = t_end
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
-        """Process every pending event (bounded by ``max_events``)."""
+        """Process every pending event (bounded by ``max_events``).
+
+        Honours :meth:`stop` like :meth:`run_until`.
+        """
         count = 0
+        self._stop_requested = False
         heap = self._heap
         while heap:
             time, _, ev = heapq.heappop(heap)
@@ -213,3 +358,6 @@ class Simulator:
             self._processed += 1
             ev.sim = None
             ev.callback()
+            if self._stop_requested:
+                self._stop_requested = False
+                return

@@ -25,10 +25,14 @@ from repro.gridsim.fairshare import (
     normalize_vo_shares,
 )
 from repro.gridsim.faults import FaultModel
-from repro.gridsim.federation import BrokerConfig, FederatedBroker
+from repro.gridsim.federation import (
+    BatchedFederatedBroker,
+    BrokerConfig,
+    FederatedBroker,
+)
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.site import ComputingElement, VectorComputingElement
-from repro.gridsim.wms import WorkloadManager
+from repro.gridsim.wms import BatchedWorkloadManager, WorkloadManager
 from repro.traces.generator import DiurnalProfile
 from repro.util.rng import RngLike, as_rng, spawn_rngs
 from repro.util.validation import check_positive
@@ -61,6 +65,19 @@ _FAIRSHARE_ENGINES = {
 def _default_site_engine() -> str:
     """Engine default, overridable via ``REPRO_SITE_ENGINE`` (CI matrix)."""
     return os.environ.get("REPRO_SITE_ENGINE", "vector")
+
+
+#: WMS engine selected by :attr:`GridConfig.wms_engine` —
+#: ``(plain WMS class, federated broker class)`` per engine
+_WMS_ENGINES = {
+    "batched": (BatchedWorkloadManager, BatchedFederatedBroker),
+    "event": (WorkloadManager, FederatedBroker),
+}
+
+
+def _default_wms_engine() -> str:
+    """WMS engine default, overridable via ``REPRO_WMS_ENGINE`` (CI matrix)."""
+    return os.environ.get("REPRO_WMS_ENGINE", "batched")
 
 
 @dataclass(frozen=True)
@@ -121,6 +138,15 @@ class GridConfig:
         ``"vector"`` (default, or ``REPRO_SITE_ENGINE``) runs sites on
         the two-lane :class:`~repro.gridsim.site.VectorComputingElement`;
         ``"event"`` keeps the fully event-driven oracle.
+    wms_engine:
+        ``"batched"`` (default, or ``REPRO_WMS_ENGINE``) resolves
+        match-making in windowed dispatch buckets — one event per
+        information-refresh window, site selection vectorised over the
+        bucket — and pools client timeout timers on the kernel's coarse
+        timer wheel; ``"event"`` keeps the per-job dispatch oracle with
+        exact heap timers.  The batched lane is a law-level
+        approximation (dispatches land on window boundaries), pinned
+        against the oracle by ``tests/test_wms_engine_equivalence.py``.
     fairshare_halflife:
         Decay half-life (s) of the per-VO usage window on fair-share
         sites (``math.inf`` disables decay).
@@ -141,6 +167,7 @@ class GridConfig:
     faults: FaultModel = field(default_factory=FaultModel)
     diurnal_amplitude: float = 0.0
     site_engine: str = field(default_factory=_default_site_engine)
+    wms_engine: str = field(default_factory=_default_wms_engine)
     fairshare_halflife: float = 86_400.0
     brokers: tuple[BrokerConfig, ...] = ()
 
@@ -151,6 +178,11 @@ class GridConfig:
             raise ValueError(
                 f"unknown site_engine {self.site_engine!r}; "
                 f"available: {', '.join(_SITE_ENGINES)}"
+            )
+        if self.wms_engine not in _WMS_ENGINES:
+            raise ValueError(
+                f"unknown wms_engine {self.wms_engine!r}; "
+                f"available: {', '.join(_WMS_ENGINES)}"
             )
         names = [sc.name for sc in self.sites]
         dupes = sorted({n for n in names if names.count(n) > 1})
@@ -331,10 +363,13 @@ class GridSimulator:
             info_refresh=config.info_refresh,
             ranking_noise=config.ranking_noise,
         )
+        wms_cls, broker_cls = _WMS_ENGINES[config.wms_engine]
+        #: client timeout timers ride the pooled wheel on the batched lane
+        self._pooled_timers = config.wms_engine == "batched"
         if config.brokers:
             broker_rngs = [rngs[1], *rngs[2 + len(config.sites):]]
             self.brokers = [
-                FederatedBroker(
+                broker_cls(
                     self.sim,
                     self.sites,
                     rng,
@@ -347,7 +382,7 @@ class GridSimulator:
             ]
         else:
             self.brokers = [
-                WorkloadManager(self.sim, self.sites, rngs[1], **wms_kwargs)
+                wms_cls(self.sim, self.sites, rngs[1], **wms_kwargs)
             ]
         #: the primary broker (the only one on broker-free grids)
         self.wms = self.brokers[0]
@@ -379,7 +414,6 @@ class GridSimulator:
         #: block-drawn fault uniforms (one per Bernoulli draw, consumed
         #: in the same order the scalar channel draws were)
         self._fault_uniforms: deque[float] = deque()
-        self._start_watchers: dict[int, Callable[[Job], None]] = {}
         #: counters
         self.jobs_submitted = 0
         self.jobs_lost = 0
@@ -426,20 +460,76 @@ class GridSimulator:
         """
         job.submit_time = self.sim.now
         self.jobs_submitted += 1
-        if on_start is not None:
-            self._start_watchers[job.job_id] = on_start
-        if self._fault_uniform() < self.config.faults.p_lost:
+        # the fault uniforms are consumed inline, with the same refill
+        # idiom as submit_many — keep the two in lockstep, they share
+        # the _fault_rng stream.  The second draw only happens when the
+        # job survives the first channel, exactly like the historical
+        # per-channel Bernoullis
+        uniforms = self._fault_uniforms
+        if len(uniforms) < 2:
+            uniforms.extend(self._fault_rng.random(256).tolist())
+        faults = self.config.faults
+        if uniforms.popleft() < faults.p_lost:
             job.state = JobState.LOST
             self.jobs_lost += 1
             return job
-        if self._fault_uniform() < self.config.faults.p_stuck:
+        if uniforms.popleft() < faults.p_stuck:
             # the job will sit in a mis-configured queue forever: model it
             # as matching that never dispatches
             job.state = JobState.STUCK
             self.jobs_stuck += 1
             return job
-        self.broker_for(via).submit(job)
+        # attach the watcher only to jobs that can actually start: a
+        # watcher on a lost/stuck job would never fire and only pins a
+        # job→task reference cycle for the garbage collector
+        if on_start is not None:
+            job.on_start = on_start
+        brokers = self.brokers
+        if via is None and len(brokers) == 1:
+            brokers[0].submit(job)
+        else:
+            self.broker_for(via).submit(job)
         return job
+
+    def submit_many(
+        self,
+        jobs: list[Job],
+        on_start: Callable[[Job], None] | None = None,
+        *,
+        via: int | str | None = None,
+    ) -> list[Job]:
+        """Submit a batch of sibling copies in one call.
+
+        Law-identical to looping :meth:`submit` (same per-job fault
+        draws in the same order, same match-making delay stream), but
+        the survivors reach the broker through one
+        ``WorkloadManager.submit_many`` call — the lane burst strategies
+        use so a ``b``-copy round costs one pass through the middleware
+        instead of ``b``.
+        """
+        now = self.sim.now
+        uniforms = self._fault_uniforms
+        faults = self.config.faults
+        live: list[Job] = []
+        for job in jobs:
+            job.submit_time = now
+            self.jobs_submitted += 1
+            if len(uniforms) < 2:
+                uniforms.extend(self._fault_rng.random(256).tolist())
+            if uniforms.popleft() < faults.p_lost:
+                job.state = JobState.LOST
+                self.jobs_lost += 1
+                continue
+            if uniforms.popleft() < faults.p_stuck:
+                job.state = JobState.STUCK
+                self.jobs_stuck += 1
+                continue
+            if on_start is not None:
+                job.on_start = on_start
+            live.append(job)
+        if live:
+            self.broker_for(via).submit_many(live)
+        return jobs
 
     def broker_for(self, via: int | str | None = None) -> WorkloadManager:
         """Resolve a submission's broker (see :meth:`submit`)."""
@@ -467,7 +557,7 @@ class GridSimulator:
 
     def cancel(self, job: Job) -> None:
         """Cancel a job wherever it is (matching, queued, running, stuck)."""
-        self._start_watchers.pop(job.job_id, None)
+        job.on_start = None
         if job.state is JobState.MATCHING:
             self.wms.cancel_matching(job)
             return
@@ -479,16 +569,48 @@ class GridSimulator:
             if site is not None:
                 site.cancel(job)
 
-    def _fault_uniform(self) -> float:
-        """Next uniform of the fault channels (block-drawn, same law)."""
-        if not self._fault_uniforms:
-            self._fault_uniforms.extend(self._fault_rng.random(256).tolist())
-        return self._fault_uniforms.popleft()
+    def cancel_many(self, jobs: list[Job]) -> None:
+        """Cancel a batch of jobs in one grid call (sibling copies).
+
+        Matching/stuck/lost jobs die by state flip; queued and running
+        jobs are grouped per site and handed to the site's
+        ``cancel_many``, so each touched site pays one dispatch /
+        reconciliation pass for the whole batch instead of one per job.
+        This is the cancellation lane :class:`~repro.gridsim.client.TaskCore`
+        uses to kill a task's sibling copies the instant one starts.
+        """
+        by_site: dict[str, list[Job]] = {}
+        for job in jobs:
+            job.on_start = None
+            state = job.state
+            if state is JobState.MATCHING:
+                job.state = JobState.CANCELLED
+            elif state in (JobState.STUCK, JobState.LOST):
+                job.state = JobState.CANCELLED
+            elif state in (JobState.QUEUED, JobState.RUNNING):
+                by_site.setdefault(job.site, []).append(job)
+        for name, bunch in by_site.items():
+            site = self._site_by_name.get(name)
+            if site is not None:
+                site.cancel_many(bunch)
+
+    def schedule_timeout(self, delay: float, callback: Callable[[], None]):
+        """Arm a cancellable client timeout (strategy ``t_inf``, probes).
+
+        Routes to the kernel's pooled timer wheel under the batched WMS
+        engine (O(1) arm/cancel, fires within one wheel granule after
+        the deadline) and to an exact heap event under the ``"event"``
+        oracle, so the oracle's timing stays bit-faithful to the
+        historical per-job pipeline.
+        """
+        if self._pooled_timers:
+            return self.sim.schedule_pooled(delay, callback)
+        return self.sim.schedule(delay, callback)
 
     # -- snapshots -------------------------------------------------------
 
     def _check_pristine(self) -> None:
-        if self.jobs_submitted or self._start_watchers:
+        if self.jobs_submitted:
             raise RuntimeError(
                 "can only snapshot/clone a pristine grid (no client "
                 "submissions); capture after warm_up(), before probing "
@@ -514,8 +636,9 @@ class GridSimulator:
     # -- internals -------------------------------------------------------
 
     def _notify_start(self, job: Job) -> None:
-        watcher = self._start_watchers.pop(job.job_id, None)
+        watcher = job.on_start
         if watcher is not None:
+            job.on_start = None
             watcher(job)
 
     # -- telemetry -------------------------------------------------------

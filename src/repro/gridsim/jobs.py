@@ -79,6 +79,10 @@ class Job:
     vo: str = ""
     #: completion Event while RUNNING (owned by the executing site)
     completion_event: object | None = field(default=None, repr=False, compare=False)
+    #: client start watcher (set by GridSimulator.submit, cleared on
+    #: delivery/cancel) — carried on the job so the start path does not
+    #: pay a watcher-registry lookup per job
+    on_start: object | None = field(default=None, repr=False, compare=False)
 
     @property
     def latency(self) -> float:

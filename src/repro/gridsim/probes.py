@@ -6,12 +6,18 @@ timeout (10,000 s — then cancels it and counts an outlier), and
 immediately submits the next probe.  The output is a
 :class:`~repro.traces.TraceSet`, so the whole modeling pipeline (ECDF →
 strategy optimisation) runs unchanged on simulated data.
+
+Each slot is a slotted :class:`~repro.gridsim.client.TaskCore` subclass,
+so probes share the strategy executors' lifecycle bookkeeping — pooled
+timeout timers under the batched WMS engine, exact heap timers under the
+event oracle — instead of carrying their own closure-based state.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.gridsim.client import TaskCore
 from repro.gridsim.grid import GridSimulator
 from repro.gridsim.jobs import Job
 from repro.traces.dataset import TraceSet
@@ -19,6 +25,35 @@ from repro.traces.records import PROBE_TIMEOUT
 from repro.util.validation import check_positive
 
 __all__ = ["ProbeExperiment"]
+
+
+class _ProbeSlot(TaskCore):
+    """One slot's current probe: a single copy plus its timeout timer."""
+
+    __slots__ = ("exp",)
+
+    tag = "probe"
+
+    def __init__(self, exp: "ProbeExperiment") -> None:
+        super().__init__(exp.grid, exp.probe_runtime)
+        self.exp = exp
+        self.submit_copy()
+        self.arm(exp.timeout, self._timeout)
+
+    def finished(self, winner: Job) -> None:
+        exp = self.exp
+        exp._record(self.t_start, winner.start_time - self.t_start, 0)
+        # §3.2: "a new probe was submitted each time another one
+        # completed" — schedule the next probe after the (near-null)
+        # payload finishes
+        self.grid.sim.schedule(exp.probe_runtime, exp._launch_probe)
+
+    def _timeout(self) -> None:
+        if self.done:
+            return
+        self.expire()
+        self.exp._record(self.t_start, float("inf"), 1)
+        self.exp._launch_probe()
 
 
 class ProbeExperiment:
@@ -50,15 +85,26 @@ class ProbeExperiment:
 
         Probes still pending at the end of the campaign are not recorded
         (their outcome is unknown), matching the paper's trace semantics.
+        Each call is an independent campaign: per-run state is reset, so
+        a reused experiment never leaks records from a previous run.
         """
         check_positive("duration", duration)
+        self._submit_times = []
+        self._latencies = []
+        self._codes = []
         start = self.grid.now
         self._deadline = start + duration
         for _ in range(self.n_slots):
             self._launch_probe()
-        # run long enough for the last probes to resolve (one timeout past
-        # the deadline covers every pending probe)
-        self.grid.run_until(self._deadline + self.timeout + 1.0)
+        # run long enough for the last probes to resolve: one timeout
+        # (plus the pooled wheel's granule of firing lateness) past the
+        # deadline covers every pending probe
+        self.grid.run_until(
+            self._deadline
+            + self.timeout
+            + self.grid.sim.pooled_granularity
+            + 1.0
+        )
         if not self._submit_times:
             raise RuntimeError("probe campaign recorded no probes")
         order = np.argsort(self._submit_times, kind="stable")
@@ -75,31 +121,7 @@ class ProbeExperiment:
     def _launch_probe(self) -> None:
         if self.grid.now >= self._deadline:
             return
-        job = Job(runtime=self.probe_runtime, tag="probe")
-        submit_time = self.grid.now
-        state = {"done": False}
-
-        def on_start(j: Job) -> None:
-            if state["done"]:
-                return
-            state["done"] = True
-            timeout_ev.cancel()
-            self._record(submit_time, j.start_time - submit_time, 0)
-            # §3.2: "a new probe was submitted each time another one
-            # completed" — schedule the next probe after the (near-null)
-            # payload finishes
-            self.grid.sim.schedule(self.probe_runtime, self._launch_probe)
-
-        def on_timeout() -> None:
-            if state["done"]:
-                return
-            state["done"] = True
-            self.grid.cancel(job)
-            self._record(submit_time, float("inf"), 1)
-            self._launch_probe()
-
-        timeout_ev = self.grid.sim.schedule(self.timeout, on_timeout)
-        self.grid.submit(job, on_start=on_start)
+        _ProbeSlot(self)
 
     def _record(self, submit_time: float, latency: float, code: int) -> None:
         if submit_time >= self._deadline:

@@ -97,6 +97,30 @@ class ComputingElement:
         if self.free_cores > 0 and self.dispatch_enabled:
             self._try_start()
 
+    def enqueue_many(self, jobs: list[Job]) -> int:
+        """Accept a batch of dispatched jobs; returns how many enqueued.
+
+        The whole batch enters the queue before any start fires (one
+        dispatch pass at the end instead of one per job), so a start
+        callback that cancels a sibling later in the same batch finds it
+        already queued and leaves a husk — bit-identical to what the
+        vectorised engine's batch path produces.  Jobs no longer in a
+        dispatchable state on entry are skipped.
+        """
+        n = 0
+        now = self.sim._now
+        for job in jobs:
+            if job.state not in (JobState.MATCHING, JobState.CREATED):
+                continue
+            job.state = JobState.QUEUED
+            job.site = self.name
+            job.queue_time = now
+            self.queue.append(job)
+            n += 1
+        if n and self.free_cores > 0 and self.dispatch_enabled:
+            self._try_start()
+        return n
+
     def cancel(self, job: Job) -> bool:
         """Cancel a queued or running job; returns ``True`` if it acted.
 
@@ -125,6 +149,40 @@ class ComputingElement:
                 self._try_start()
             return True
         return False
+
+    def cancel_many(self, jobs: list[Job]) -> int:
+        """Cancel a batch of sibling jobs at this site; returns the count.
+
+        Two-phase semantics, identical on both engines so their client
+        traces stay comparable: all queued jobs become husks *first*,
+        then running jobs are killed, and only then does a single
+        dispatch pass hand the freed cores out — so a core freed by one
+        sibling can never briefly start another sibling that the same
+        batch was about to cancel (which the per-job :meth:`cancel` loop
+        allowed).
+        """
+        n = 0
+        freed = False
+        for job in jobs:
+            if job.state is JobState.QUEUED and job.site == self.name:
+                job.state = JobState.CANCELLED
+                self._queue_husks += 1
+                n += 1
+        for job in jobs:
+            if job.state is JobState.RUNNING:
+                ev = job.completion_event
+                if ev is not None:
+                    ev.cancel()
+                    job.completion_event = None
+                self.running_jobs.pop(job.job_id, None)
+                job.state = JobState.CANCELLED
+                job.end_time = self.sim.now
+                self.free_cores += 1
+                freed = True
+                n += 1
+        if freed and self.dispatch_enabled:
+            self._try_start()
+        return n
 
     # -- outage hooks ------------------------------------------------------
 
@@ -279,6 +337,20 @@ class VectorComputingElement:
         self._dispatch_floor = 0.0
         self._started = 0
         self._killed = 0
+        #: earliest instant the next commit can happen — ``_advance``
+        #: returns immediately while ``now`` is before it.  Computed at
+        #: the end of every walk; any mutation that could create an
+        #: *earlier* start (client arrival, core release, gate reopen,
+        #: new background chunk) resets it to 0 to force a walk.
+        self._next_due = 0.0
+        #: bumped whenever the inputs of a head-start prediction change
+        #: (core release, dispatch-floor move) — commits alone never do,
+        #: because prediction and commit run the identical recurrence.
+        #: ``_ensure_wake`` skips the predictor while the armed wake was
+        #: computed for the same head job at the same epoch.
+        self._lane_epoch = 0
+        self._wake_head: Job | None = None
+        self._wake_epoch = -1
 
     # -- background lane ---------------------------------------------------
 
@@ -298,6 +370,7 @@ class VectorComputingElement:
             self._bg_i = 0
         self._bg_t.extend(times)
         self._bg_r.extend(runtimes)
+        self._next_due = 0.0  # the new chunk may hold the next start
 
     def background_delivered(self) -> int:
         """Background arrivals whose arrival time has passed (lazy count)."""
@@ -313,10 +386,46 @@ class VectorComputingElement:
         job.state = JobState.QUEUED
         job.site = self.name
         job.queue_time = self.sim._now
-        self._client_q.append(job)
+        cq = self._client_q
+        if self._client_husks == len(cq):
+            # no live client ahead: the new arrival may start this instant
+            # (behind a live head, FIFO order keeps the next commit as-is)
+            self._next_due = 0.0
+        cq.append(job)
         self._advance()  # background ahead of it commits; may start it now
         if job.state is JobState.QUEUED:
             self._ensure_wake()
+
+    def enqueue_many(self, jobs: list[Job]) -> int:
+        """Accept a batch of dispatched jobs; returns how many enqueued.
+
+        All jobs are appended to the FIFO first (same ``queue_time``,
+        FIFO order = batch order, exactly as a loop over
+        :meth:`enqueue` would produce), then one reconciliation pass
+        commits whatever can start and one wake re-aim covers the whole
+        batch — instead of an ``_advance`` + ``_ensure_wake`` per job.
+        Jobs cancelled by a start callback fired mid-batch die as queue
+        husks, the same outcome the per-job path reaches via
+        :meth:`~repro.gridsim.wms.WorkloadManager.cancel_matching`.
+        """
+        now = self.sim._now
+        cq = self._client_q
+        if self._client_husks == len(cq):
+            # no live client ahead: the batch head may start this instant
+            self._next_due = 0.0
+        n = 0
+        for job in jobs:
+            if job.state not in (JobState.MATCHING, JobState.CREATED):
+                continue
+            job.state = JobState.QUEUED
+            job.site = self.name
+            job.queue_time = now
+            cq.append(job)
+            n += 1
+        if n:
+            self._advance()
+            self._ensure_wake()
+        return n
 
     def cancel(self, job: Job) -> bool:
         """Cancel a queued or running client job; returns ``True`` if it acted."""
@@ -347,10 +456,49 @@ class VectorComputingElement:
             job.end_time = now
             self._release_core(job.start_time + job.runtime, now)
             self._killed += 1
+            self._next_due = 0.0  # the freed core may start earlier work
+            self._lane_epoch += 1
             self._advance()  # the freed core may start queued work this instant
             self._ensure_wake()
             return True
         return False
+
+    def cancel_many(self, jobs: list[Job]) -> int:
+        """Cancel a batch of sibling jobs at this site; returns the count.
+
+        Same two-phase semantics as the event engine's
+        :meth:`ComputingElement.cancel_many` — queued husks first, then
+        running kills, then a **single** reconciliation + wake re-aim
+        for the whole batch instead of one per cancelled job.
+        """
+        n = 0
+        freed = False
+        now = self.sim._now
+        for job in jobs:
+            if job.state is JobState.QUEUED and job.site == self.name:
+                job.state = JobState.CANCELLED
+                self._client_husks += 1
+                n += 1
+        for job in jobs:
+            if job.state is JobState.RUNNING:
+                ev = job.completion_event
+                if ev is not None:
+                    ev.cancel()
+                    job.completion_event = None
+                self.running_jobs.pop(job.job_id, None)
+                job.state = JobState.CANCELLED
+                job.end_time = now
+                self._release_core(job.start_time + job.runtime, now)
+                self._killed += 1
+                freed = True
+                n += 1
+        if n:
+            if freed:
+                self._next_due = 0.0  # freed cores may start earlier work
+                self._lane_epoch += 1
+                self._advance()
+            self._ensure_wake()
+        return n
 
     # -- outage hooks ------------------------------------------------------
 
@@ -394,6 +542,8 @@ class VectorComputingElement:
         """Reopen the dispatch gate and drain whatever can start now."""
         self.dispatch_enabled = True
         self._dispatch_floor = self.sim._now
+        self._next_due = 0.0  # downtime arrivals start the moment we reopen
+        self._lane_epoch += 1
         self._advance()
         self._ensure_wake()
 
@@ -408,10 +558,17 @@ class VectorComputingElement:
         oracle's ``_try_start``; since callbacks may re-enter (cancel a
         sibling at this very site), all loop state lives on ``self`` and
         locals are refreshed after every callback.
+
+        The next commit instant is fully determined at the end of each
+        walk (the head item's start over the settled free-time heap), so
+        it is memoised in ``_next_due``: reconciliation points that fall
+        before it — the overwhelming majority of telemetry reads and
+        client interactions on a busy grid — return after one comparison
+        instead of re-binding the whole walk state.
         """
-        if not self.dispatch_enabled:
-            return
         t = self.sim._now
+        if t < self._next_due or not self.dispatch_enabled:
+            return
         floor = self._dispatch_floor
         cf = self._core_free
         bg_t, bg_r = self._bg_t, self._bg_r
@@ -422,39 +579,51 @@ class VectorComputingElement:
             while cq and cq[0].state is not QUEUED:
                 cq.popleft()
                 self._client_husks -= 1
+            head = cq[0] if cq else None
+            ct = head.queue_time if head is not None else 0.0
             i = self._bg_i
-            if i < n_bg:
+            if i < n_bg and (head is None or bg_t[i] <= ct):
+                # bulk-commit the background run ahead of the head client
+                # on pure locals — background starts never call out, so
+                # no re-entrancy can bite, and the per-commit attribute
+                # traffic of the one-at-a-time loop disappears
                 bt = bg_t[i]
-                take_bg = not cq or bt <= cq[0].queue_time
-            else:
-                bt = 0.0
-                take_bg = False
-            if take_bg:
-                if bt > t:
-                    return
-                m = cf[0]
-                if floor > m:
-                    m = floor
-                s = bt if bt > m else m
-                if s > t:
-                    return
-                heapreplace(cf, s + bg_r[i])
-                self._bg_i = i + 1
-                self._started += 1
-            elif cq:
-                job = cq[0]
-                s = job.queue_time
+                started = 0
+                while True:
+                    m = cf[0]
+                    if floor > m:
+                        m = floor
+                    s = bt if bt > m else m
+                    if s > t:
+                        self._bg_i = i
+                        self._started += started
+                        self._next_due = s
+                        return
+                    heapreplace(cf, s + bg_r[i])
+                    i += 1
+                    started += 1
+                    if i >= n_bg:
+                        break
+                    bt = bg_t[i]
+                    if head is not None and bt > ct:
+                        break
+                self._bg_i = i
+                self._started += started
+                continue  # the head client may be startable now
+            if head is not None:
+                s = ct
                 m = cf[0]
                 if floor > m:
                     m = floor
                 if m > s:
                     s = m
                 if s > t:
+                    self._next_due = s
                     return
                 cq.popleft()
-                heapreplace(cf, s + job.runtime)
+                heapreplace(cf, s + head.runtime)
                 self._started += 1
-                self._start_client(job, s)
+                self._start_client(head, s)
                 # the callback may have cancelled jobs, advanced the lane
                 # re-entrantly, or closed the gate — refresh everything
                 if not self.dispatch_enabled:
@@ -463,6 +632,7 @@ class VectorComputingElement:
                 bg_t, bg_r = self._bg_t, self._bg_r
                 n_bg = len(bg_t)
             else:
+                self._next_due = float("inf")
                 return
 
     def _start_client(self, job: Job, start: float) -> None:
@@ -526,7 +696,16 @@ class VectorComputingElement:
                 w.cancel()
                 self._wake = None
             return
+        if (
+            w is not None
+            and not w.cancelled
+            and head is self._wake_head
+            and self._wake_epoch == self._lane_epoch
+        ):
+            return  # same head, same prediction inputs: the wake holds
         s = self._predict_start(head)
+        self._wake_head = head
+        self._wake_epoch = self._lane_epoch
         if w is not None:
             if not w.cancelled and w.time == s:
                 return

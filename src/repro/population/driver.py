@@ -134,15 +134,25 @@ def run_population(
     horizon_slack:
         Extra virtual time after the window for stragglers to finish.
     step:
-        Granularity of the advance loop (s).
+        Unused — kept for call-site compatibility.  The run is
+        event-driven: the last task's completion stops the simulator at
+        that exact instant instead of an advance loop polling every
+        ``step`` seconds.
     """
     check_positive("horizon_slack", horizon_slack)
-    check_positive("step", step)
+    del step  # retained for call-site compatibility only
     rngs = spawn_rngs(as_rng(seed), len(spec.fleets))
     start = grid.now
     lost_before, stuck_before = grid.jobs_lost, grid.jobs_stuck
     dispatched_before = [b.dispatch_count for b in grid.brokers]
     results: list[list[tuple[float, int]]] = [[] for _ in spec.fleets]
+    pending = [spec.total_tasks]
+
+    def on_done() -> None:
+        pending[0] -= 1
+        if pending[0] == 0:
+            grid.sim.stop()
+
     for fleet, rng, sink in zip(spec.fleets, rngs, results):
         times = spec.launch_times(fleet, rng)
         launch = partial(
@@ -153,14 +163,12 @@ def run_population(
             sink,
             vo=fleet.vo,
             via=fleet.broker,
+            on_done=on_done,
         )
         for t in times.tolist():
             grid.sim.schedule_at(start + t, launch)
 
-    total = spec.total_tasks
-    deadline = start + spec.window + horizon_slack
-    while grid.now < deadline and sum(map(len, results)) < total:
-        grid.run_until(min(grid.now + step, deadline))
+    grid.run_until(start + spec.window + horizon_slack)
 
     outcomes = []
     for fleet, sink in zip(spec.fleets, results):

@@ -127,6 +127,18 @@ class TestBench:
         assert cmd[cmd.index("--threshold") + 1] == "2.0"
         assert cmd[cmd.index("--report") + 1] == "r.txt"
 
+    def test_bench_filter_passthrough(self):
+        from repro.cli import _cmd_bench, build_parser
+
+        args = build_parser().parse_args(["bench", "--filter", "probe_day"])
+        calls = []
+        code = _cmd_bench(
+            args, io.StringIO(), runner=lambda cmd: calls.append(cmd) or 0
+        )
+        assert code == 0
+        (cmd,) = calls
+        assert cmd[cmd.index("--filter") + 1] == "probe_day"
+
     def test_bench_propagates_harness_exit_code(self):
         from repro.cli import _cmd_bench, build_parser
 

@@ -421,3 +421,125 @@ class TestFaultModel:
             FaultModel(p_lost=1.5)
         with pytest.raises(ValueError, match="< 1"):
             FaultModel(p_lost=0.6, p_stuck=0.5)
+
+
+class TestPooledTimerWheel:
+    def test_fires_at_rounded_up_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_pooled(95.0, lambda: fired.append(sim.now))
+        sim.run_until(200.0)
+        g = sim.pooled_granularity
+        assert fired == [np.ceil(95.0 / g) * g]
+
+    def test_never_fires_early(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_pooled(61.0, lambda: fired.append(sim.now))
+        sim.run_until(61.0)
+        assert fired == []
+        sim.run_until(200.0)
+        assert len(fired) == 1 and fired[0] >= 61.0
+
+    def test_same_bucket_shares_one_heap_event(self):
+        sim = Simulator()
+        fired = []
+        before = sim.pending
+        for k in range(10):
+            sim.schedule_pooled(50.0 + 0.1 * k, lambda k=k: fired.append(k))
+        assert sim.pending == before + 1  # one shared bucket event
+        sim.run_until(200.0)
+        assert fired == list(range(10))
+
+    def test_cancel_is_heap_free_flag_flip(self):
+        sim = Simulator()
+        fired = []
+        timers = [sim.schedule_pooled(50.0, lambda: fired.append("x")) for _ in range(5)]
+        timers[1].cancel()
+        timers[3].cancel()
+        sim.run_until(200.0)
+        assert fired == ["x", "x", "x"]
+
+    def test_fully_cancelled_bucket_cancels_its_event(self):
+        sim = Simulator()
+        timers = [sim.schedule_pooled(50.0, lambda: None) for _ in range(3)]
+        for t in timers:
+            t.cancel()
+        assert sim.cancelled_pending >= 1  # the bucket's shared event died
+        sim.run_until(200.0)
+        assert sim.events_processed == 0
+
+    def test_rearming_after_mass_cancellation(self):
+        sim = Simulator()
+        fired = []
+        dead = sim.schedule_pooled(50.0, lambda: fired.append("dead"))
+        dead.cancel()
+        sim.schedule_pooled(50.0, lambda: fired.append("live"))
+        sim.run_until(200.0)
+        assert fired == ["live"]
+
+    def test_cancel_after_fire_is_noop(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule_pooled(10.0, lambda: fired.append("x"))
+        sim.run_until(100.0)
+        timer.cancel()  # must not raise or corrupt accounting
+        assert fired == ["x"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule_pooled(-1.0, lambda: None)
+
+    def test_reentrant_arming_from_bucket_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def rearm():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule_pooled(1.0, rearm)
+
+        sim.schedule_pooled(1.0, rearm)
+        sim.run_until(1_000.0)
+        assert len(fired) == 3
+        assert fired == sorted(fired)
+
+
+class TestSimulatorStop:
+    def test_stop_ends_run_at_current_instant(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: (seen.append(5.0), sim.stop()))
+        sim.schedule(10.0, lambda: seen.append(10.0))
+        sim.run_until(100.0)
+        assert seen == [5.0]
+        assert sim.now == 5.0
+
+    def test_run_resumes_after_stop(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: sim.stop())
+        sim.schedule(10.0, lambda: seen.append(10.0))
+        sim.run_until(100.0)
+        sim.run_until(100.0)
+        assert seen == [10.0]
+        assert sim.now == 100.0
+
+    def test_stop_outside_run_does_not_leak(self):
+        sim = Simulator()
+        seen = []
+        sim.stop()  # no run active: must not cancel the next run
+        sim.schedule(5.0, lambda: seen.append(5.0))
+        sim.run_until(10.0)
+        assert seen == [5.0]
+        assert sim.now == 10.0
+
+    def test_stop_in_run_until_idle(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: (seen.append(1.0), sim.stop()))
+        sim.schedule(2.0, lambda: seen.append(2.0))
+        sim.run_until_idle()
+        assert seen == [1.0]
+        assert sim.now == 1.0
