@@ -180,3 +180,55 @@ def test_bench_adoption_fleet(benchmark):
 
     outcome = benchmark.pedantic(fleet, rounds=3, iterations=1, warmup_rounds=1)
     assert outcome.j.size > 100
+
+
+def test_bench_weather_storm_day(benchmark):
+    """Scenario: a probe-day through the full weather/health stack.
+
+    Storms toggle correlated site subsets (background reconciliation +
+    running-job kills), a mid-day black hole bulk-fails its queue and
+    draws probe re-admission traffic, and every client outcome feeds the
+    EWMA health machine — the bookkeeping riding on top of the
+    vectorised site lane that this bench keeps honest.
+    """
+    from repro.gridsim import (
+        BlackHoleConfig,
+        HealthConfig,
+        ResubmitConfig,
+        StormConfig,
+        WeatherConfig,
+    )
+
+    cfg = GridConfig(
+        sites=(
+            SiteConfig("a", 16, utilization=0.9, runtime_median=1800.0),
+            SiteConfig("b", 32, utilization=0.9, runtime_median=2400.0),
+            SiteConfig("c", 24, utilization=0.95, runtime_median=3600.0),
+        ),
+        faults=FaultModel(p_lost=0.02, p_stuck=0.02),
+        weather=WeatherConfig(
+            storm=StormConfig(
+                mean_interval=3 * 3600.0,
+                mean_duration=1800.0,
+                subset_size=2,
+                kill_running=0.5,
+            ),
+            black_holes=(
+                BlackHoleConfig(site="b", start=40_000.0, duration=8_000.0),
+            ),
+        ),
+        health=HealthConfig(),
+        resubmit=ResubmitConfig(),
+    )
+
+    def run():
+        grid = GridSimulator(cfg, seed=13)
+        grid.warm_up(3600.0)
+        trace = ProbeExperiment(grid, n_slots=12, timeout=6000.0).run(86_400.0)
+        return grid, trace
+
+    grid, trace = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert len(trace) > 100
+    report = grid.weather_report()
+    assert report["storms_started"] >= 1
+    assert sum(report["black_hole_failures"].values()) > 0

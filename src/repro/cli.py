@@ -111,6 +111,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fed_p.add_argument("--seed", type=int, default=29)
 
+    weather_p = sub.add_parser(
+        "weather",
+        help="run one strategy campaign under a grid-weather regime",
+    )
+    weather_p.add_argument(
+        "--regime",
+        choices=("calm", "storms", "black-hole"),
+        default="black-hole",
+        help="weather thrown at the grid",
+    )
+    weather_p.add_argument(
+        "--strategy",
+        choices=("single", "multiple", "delayed"),
+        default="single",
+        help="user-side submission strategy",
+    )
+    weather_p.add_argument(
+        "--self-healing",
+        action="store_true",
+        help="enable the service-side resubmission agent",
+    )
+    weather_p.add_argument(
+        "--tasks", type=int, default=400, help="tasks in the campaign"
+    )
+    weather_p.add_argument(
+        "--interval", type=float, default=20.0, help="gap between launches (s)"
+    )
+    weather_p.add_argument(
+        "--runtime", type=float, default=600.0, help="task payload runtime (s)"
+    )
+    weather_p.add_argument(
+        "-b", type=int, default=3, help="burst width of the multiple strategy"
+    )
+    weather_p.add_argument(
+        "--t-inf", type=float, default=4000.0, help="resubmission timeout (s)"
+    )
+    weather_p.add_argument("--seed", type=int, default=43)
+
     desc_p = sub.add_parser("describe", help="describe a paper trace set")
     desc_p.add_argument("week", help="trace-set name, e.g. 2006-IX")
     desc_p.add_argument("--seed", type=int, default=2009)
@@ -303,6 +341,96 @@ def _cmd_federation(args, out) -> int:
     return 0
 
 
+def _cmd_weather(args, out) -> int:
+    """Run one strategy campaign on a weathered grid and report telemetry."""
+    from dataclasses import replace
+
+    from repro.core.strategies import (
+        DelayedResubmission,
+        MultipleSubmission,
+        SingleResubmission,
+    )
+    from repro.experiments.grid_weather import _regimes, weather_grid_config
+    from repro.gridsim import ResubmitConfig, run_strategy_on_grid, warmed_snapshot
+    from repro.util.tables import Table, format_float, format_seconds
+
+    warm = 6 * 3600.0
+    try:
+        strategy = {
+            "single": lambda: SingleResubmission(t_inf=args.t_inf),
+            "multiple": lambda: MultipleSubmission(b=args.b, t_inf=args.t_inf),
+            "delayed": lambda: DelayedResubmission(
+                t0=args.t_inf / 2.0, t_inf=args.t_inf
+            ),
+        }[args.strategy]()
+        weather = dict(
+            (name.replace(" ", "-"), w) for name, w in _regimes(warm)
+        )[args.regime]
+        config = replace(
+            weather_grid_config(),
+            weather=weather,
+            resubmit=ResubmitConfig() if args.self_healing else None,
+        )
+        grid = warmed_snapshot(config, seed=args.seed, duration=warm).restore()
+        outcome = run_strategy_on_grid(
+            grid,
+            strategy,
+            args.tasks,
+            task_interval=args.interval,
+            runtime=args.runtime,
+        )
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+    table = Table(
+        title=(
+            f"{args.tasks} {args.strategy} tasks under {args.regime} weather "
+            f"(self-healing {'on' if args.self_healing else 'off'})"
+        ),
+        columns=["finished", "mean J", "median J", "jobs/task", "gave up"],
+    )
+    import numpy as np
+
+    table.add_row(
+        outcome.j.size,
+        format_seconds(outcome.mean_j if outcome.j.size else float("nan")),
+        format_seconds(
+            float(np.median(outcome.j)) if outcome.j.size else float("nan")
+        ),
+        format_float(outcome.mean_jobs, 2),
+        outcome.gave_up,
+    )
+    out.write(table.render() + "\n")
+    report = grid.weather_report()
+    out.write(
+        f"\nweather: {report['outages_started']} outages, "
+        f"{sum(report['jobs_killed'].values())} jobs killed, "
+        f"{sum(report['black_hole_failures'].values())} black-hole failures\n"
+    )
+    health = report.get("health")
+    if health is not None:
+        states = ", ".join(
+            f"{site}: {state}" for site, state in health["states"].items()
+        )
+        out.write(f"site health: {states}\n")
+        if health["transitions"]:
+            out.write(
+                "transitions: "
+                + ", ".join(
+                    f"{k}: {n}" for k, n in sorted(health["transitions"].items())
+                )
+                + "\n"
+            )
+    resub = report.get("resubmit")
+    if resub is not None:
+        out.write(
+            f"self-healing: {resub['detected']} failures detected, "
+            f"{resub['resubmissions']} resubmissions\n"
+        )
+    return 0
+
+
 def _cmd_describe(args, out) -> int:
     if args.week not in PAPER_TABLE1:
         out.write(
@@ -365,6 +493,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "federation":
         return _cmd_federation(args, out)
+    if args.command == "weather":
+        return _cmd_weather(args, out)
     if args.command == "describe":
         return _cmd_describe(args, out)
     if args.command == "bench":

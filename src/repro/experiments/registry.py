@@ -14,6 +14,7 @@ from repro.experiments import (
     fig5_delayed_surface,
     fig6_strategy_frontier,
     fig8_cost_curves,
+    grid_weather,
     multi_vo,
     resolution_study,
     rho_sensitivity,
@@ -33,7 +34,7 @@ __all__ = ["CONTEXT_FREE", "EXPERIMENTS", "list_experiments", "run_experiment"]
 #: experiments that need no ReproContext (they build their own DES grids).
 #: abl-adopt left this set when it gained the surface-calibrated delayed
 #: fleet, which reads the analytic 2006-IX model from the context.
-CONTEXT_FREE = frozenset({"val-des", "multi-vo"})
+CONTEXT_FREE = frozenset({"val-des", "multi-vo", "grid-weather"})
 
 #: experiment id -> run callable (every table/figure + validations)
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -57,6 +58,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "abl-family": family_sensitivity.run,
     "abl-grid": resolution_study.run,
     "multi-vo": multi_vo.run,
+    "grid-weather": grid_weather.run,
 }
 
 

@@ -25,6 +25,13 @@ substitute: an event-driven simulator with
 * WMS federation (:mod:`repro.gridsim.federation`): several brokers,
   each owning a subset of sites and seeing the rest through a lagged
   information-system view;
+* grid weather (:mod:`repro.gridsim.weather`): correlated multi-site
+  outage storms, black-hole sites that instantly fail the traffic their
+  excellent-looking queue attracts, and a service-side self-healing
+  resubmission agent;
+* a site health state machine (:mod:`repro.gridsim.health`) driving
+  operator-style bans and probe re-admission off observed job outcomes,
+  with health-aware (and therefore staleness-bound) broker masking;
 * replay of recorded SWF/GWF workloads through the background lane
   (:mod:`repro.gridsim.replay`).
 
@@ -55,9 +62,24 @@ from repro.gridsim.grid import (
     warmed_grid,
     warmed_snapshot,
 )
+from repro.gridsim.health import (
+    HealthConfig,
+    HealthService,
+    HealthState,
+    SiteHealth,
+)
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.metrics import GridMonitor, GridSample
 from repro.gridsim.outages import OutageProcess
+from repro.gridsim.weather import (
+    BlackHoleConfig,
+    OutageConfig,
+    ResubmissionAgent,
+    ResubmitConfig,
+    StormConfig,
+    StormProcess,
+    WeatherConfig,
+)
 from repro.gridsim.probes import ProbeExperiment
 from repro.gridsim.replay import TraceReplayLoad, replay_arrays_from_trace
 from repro.gridsim.site import ComputingElement, VectorComputingElement
@@ -100,6 +122,17 @@ __all__ = [
     "GridMonitor",
     "GridSample",
     "OutageProcess",
+    "OutageConfig",
+    "StormConfig",
+    "StormProcess",
+    "BlackHoleConfig",
+    "WeatherConfig",
+    "ResubmitConfig",
+    "ResubmissionAgent",
+    "HealthConfig",
+    "HealthService",
+    "HealthState",
+    "SiteHealth",
     "ProbeExperiment",
     "StrategyOutcome",
     "TaskCore",

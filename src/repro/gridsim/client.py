@@ -94,7 +94,7 @@ class TaskCore:
     """
 
     __slots__ = ("grid", "runtime", "vo", "via", "t_start", "jobs_used",
-                 "done", "active_jobs", "timers")
+                 "done", "active_jobs", "timers", "agent_retries")
 
     #: tag stamped on every submitted copy
     tag = "task"
@@ -116,6 +116,9 @@ class TaskCore:
         self.done = False
         self.active_jobs: list[Job] = []
         self.timers: list = []
+        #: system-side resubmissions consumed (the self-healing agent's
+        #: per-task retry budget)
+        self.agent_retries = 0
 
     def submit_copy(self) -> Job:
         """Submit one more copy of the task's payload."""
@@ -123,6 +126,11 @@ class TaskCore:
         self.jobs_used += 1
         self.active_jobs.append(job)
         self.grid.submit(job, on_start=self._on_start, via=self.via)
+        agent = self.grid._agent
+        if agent is not None:
+            # lost/stuck jobs register too — spotting exactly those is
+            # the monitoring agent's purpose
+            agent.watch(self, job)
         return job
 
     def submit_copies(self, n: int) -> list[Job]:
@@ -134,6 +142,10 @@ class TaskCore:
         self.jobs_used += n
         self.active_jobs.extend(jobs)
         self.grid.submit_many(jobs, self._on_start, via=self.via)
+        agent = self.grid._agent
+        if agent is not None:
+            for job in jobs:
+                agent.watch(self, job)
         return jobs
 
     def arm(self, delay: float, callback) -> object:
@@ -215,6 +227,9 @@ class _SingleTask(_StrategyTask):
     def _timeout(self, job: Job) -> None:
         if self.done:
             return
+        # a timed-out job still queued at a site is the client telling
+        # the grid that site swallowed its work (health observation)
+        self.grid.report_failed([job])
         self.grid.cancel(job)
         self._round()
 
@@ -239,6 +254,7 @@ class _MultipleTask(_StrategyTask):
     def _timeout(self, batch: list[Job]) -> None:
         if self.done:
             return
+        self.grid.report_failed(batch)
         self.grid.cancel_many(batch)
         self._round()
 
@@ -264,6 +280,7 @@ class _DelayedTask(_StrategyTask):
     def _cancel_copy(self, job: Job) -> None:
         if self.done:
             return
+        self.grid.report_failed([job])
         self.grid.cancel(job)
 
 

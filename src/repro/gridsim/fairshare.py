@@ -35,6 +35,7 @@ and an arrival — measure-zero under continuous laws.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from collections import deque
 from functools import partial
 from heapq import heapreplace
@@ -257,6 +258,9 @@ class FairShareComputingElement(_VoTelemetry, _PerJobBatchOps, ComputingElement)
     def enqueue(self, job: Job) -> None:
         if job.state not in (JobState.MATCHING, JobState.CREATED):
             raise ValueError(f"cannot enqueue job in state {job.state}")
+        if self.black_hole:
+            self._fail_now(job)
+            return
         job.state = JobState.QUEUED
         job.site = self.name
         job.queue_time = self.sim._now
@@ -272,6 +276,27 @@ class FairShareComputingElement(_VoTelemetry, _PerJobBatchOps, ComputingElement)
             self._vo_husks[self.fairshare.index_of(job.vo)] += 1
             return True
         return super().cancel(job)
+
+    def begin_black_hole(self) -> None:
+        """Fail the per-VO queues, then flip via the base hook."""
+        if self.black_hole:
+            return
+        now = self.sim._now
+        on_fail = self.on_fail
+        for v, q in enumerate(self._vo_queues):
+            for job in q:
+                if job.state is not JobState.QUEUED:
+                    continue
+                job.state = JobState.FAILED
+                job.end_time = now
+                self.jobs_failed_bh += 1
+                if on_fail is not None and job.tag != "background":
+                    on_fail(job)
+            q.clear()
+            self._vo_husks[v] = 0
+        # the base hook drains the (unused, empty) plain queue and kills
+        # everything running, freeing the cores
+        super().begin_black_hole()
 
     # -- internals -------------------------------------------------------
 
@@ -425,6 +450,9 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
     def enqueue(self, job: Job) -> None:
         if job.state not in (JobState.MATCHING, JobState.CREATED):
             raise ValueError(f"cannot enqueue job in state {job.state}")
+        if self.black_hole:
+            self._fail_now(job)
+            return
         job.state = JobState.QUEUED
         job.site = self.name
         job.queue_time = self.sim._now
@@ -450,6 +478,36 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
             self._defer_wake()
             return True
         return super().cancel(job)
+
+    def begin_black_hole(self) -> None:
+        """Fail the per-VO queues, then flip via the base hook.
+
+        ``_advance`` first pulls every arrival <= now into its VO queue
+        (its end-of-walk telemetry contract), so draining the queues here
+        covers both lanes; the base hook then finds ``_bg_i`` already
+        past every arrived entry and only has running work left to kill.
+        """
+        if self.black_hole:
+            return
+        self._advance()
+        now = self.sim._now
+        on_fail = self.on_fail
+        for v, q in enumerate(self._voq):
+            for entry in q:
+                if isinstance(entry, Job):
+                    if entry.state is not JobState.QUEUED:
+                        continue
+                    entry.state = JobState.FAILED
+                    entry.end_time = now
+                    self.jobs_failed_bh += 1
+                    if on_fail is not None and entry.tag != "background":
+                        on_fail(entry)
+                else:
+                    self.jobs_failed_bh += 1
+            q.clear()
+            self._vo_husks[v] = 0
+        self._live_clients = 0
+        super().begin_black_hole()
 
     # -- the fair-share commit loop ----------------------------------------
 
@@ -506,6 +564,13 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
         state picks the VO; commits stop as soon as ``d`` passes now.
         """
         t = self.sim._now
+        if self.black_hole:
+            # arrivals inside a hole fail instantly, never occupying cores
+            j = bisect_right(self._bg_t, t, self._bg_i)
+            if j > self._bg_i:
+                self.jobs_failed_bh += j - self._bg_i
+                self._bg_i = j
+            return
         if t < self._next_due or not self.dispatch_enabled:
             if self.dispatch_enabled:
                 # telemetry contract: arrivals <= now wait in their VO

@@ -132,6 +132,13 @@ class _FederatedInfoMixin:
         for i in indices:
             loads[i] = sites[i].estimated_wait(guess)
         self._snapshot = np.asarray(loads)
+        if self._health_aware:
+            # penalties travel with the load reports: a remote site's
+            # ban reaches this broker only at the *lagged* refresh, so a
+            # lagged broker keeps feeding a banned site for up to one
+            # refresh window plus its info_lag — the federated failure
+            # mode the grid-weather experiment measures
+            self._refresh_health(indices)
 
     def current_snapshot(self) -> np.ndarray:
         """Owned sites on the normal cadence, remote with ``info_lag``."""

@@ -9,6 +9,7 @@ start events, advance time.
 from __future__ import annotations
 
 import copy
+import math
 import os
 import pickle
 from collections import OrderedDict, deque
@@ -30,8 +31,16 @@ from repro.gridsim.federation import (
     BrokerConfig,
     FederatedBroker,
 )
+from repro.gridsim.health import HealthConfig, HealthService
 from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.outages import OutageProcess
 from repro.gridsim.site import ComputingElement, VectorComputingElement
+from repro.gridsim.weather import (
+    ResubmissionAgent,
+    ResubmitConfig,
+    StormProcess,
+    WeatherConfig,
+)
 from repro.gridsim.wms import BatchedWorkloadManager, WorkloadManager
 from repro.traces.generator import DiurnalProfile
 from repro.util.rng import RngLike, as_rng, spawn_rngs
@@ -157,6 +166,21 @@ class GridConfig:
         explicitly via :meth:`GridSimulator.submit`'s ``via``) and each
         broker ranks owned sites on fresh estimates, the rest through
         the lagged federated view.
+    weather:
+        Grid weather regime (:class:`~repro.gridsim.weather.WeatherConfig`):
+        per-site renewal outages, correlated storms and scheduled
+        black-hole windows.  ``None`` (the default) keeps today's calm
+        grid byte-for-byte.
+    health:
+        Site health state machine
+        (:class:`~repro.gridsim.health.HealthConfig`): observed-outcome
+        EWMAs, bans, probe re-admission, and health-aware ranking on
+        every broker.  ``None`` disables the operator loop entirely.
+    resubmit:
+        Service-side self-healing agent
+        (:class:`~repro.gridsim.weather.ResubmitConfig`) that resubmits
+        failed-and-missing tasks under a retry budget.  ``None`` leaves
+        recovery entirely to user-side strategies.
     """
 
     sites: tuple[SiteConfig, ...]
@@ -170,6 +194,9 @@ class GridConfig:
     wms_engine: str = field(default_factory=_default_wms_engine)
     fairshare_halflife: float = 86_400.0
     brokers: tuple[BrokerConfig, ...] = ()
+    weather: WeatherConfig | None = None
+    health: HealthConfig | None = None
+    resubmit: ResubmitConfig | None = None
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -230,6 +257,36 @@ class GridConfig:
                         f"broker {b.name!r} owns unknown site(s): "
                         f"{', '.join(stray)}"
                     )
+        if self.weather is not None:
+            if not isinstance(self.weather, WeatherConfig):
+                raise TypeError(
+                    "weather must be a WeatherConfig, "
+                    f"got {type(self.weather).__name__}"
+                )
+            storm = self.weather.storm
+            if storm is not None and storm.subset_size > len(self.sites):
+                raise ValueError(
+                    f"storm subset_size={storm.subset_size} exceeds the "
+                    f"{len(self.sites)} configured site(s)"
+                )
+            site_names = {sc.name for sc in self.sites}
+            for bh in self.weather.black_holes:
+                if bh.site not in site_names:
+                    raise ValueError(
+                        f"black-hole site {bh.site!r} is not a configured "
+                        f"site; available: {', '.join(sorted(site_names))}"
+                    )
+        if self.health is not None and not isinstance(self.health, HealthConfig):
+            raise TypeError(
+                f"health must be a HealthConfig, got {type(self.health).__name__}"
+            )
+        if self.resubmit is not None and not isinstance(
+            self.resubmit, ResubmitConfig
+        ):
+            raise TypeError(
+                "resubmit must be a ResubmitConfig, "
+                f"got {type(self.resubmit).__name__}"
+            )
 
 
 def default_grid_config(
@@ -330,10 +387,19 @@ class GridSimulator:
         self.config = config
         self.sim = Simulator()
         # extra broker streams are appended *after* the historical
-        # 2 + n_sites children, so degenerate (broker-free) configs keep
-        # every RNG stream byte-identical to the original layout
+        # 2 + n_sites children, and weather streams after those, so
+        # degenerate (broker-free, calm-weather) configs keep every RNG
+        # stream byte-identical to the original layout
         n_extra_brokers = max(0, len(config.brokers) - 1)
-        rngs = spawn_rngs(as_rng(seed), 2 + len(config.sites) + n_extra_brokers)
+        n_weather = 0
+        if config.weather is not None:
+            if config.weather.site_outages is not None:
+                n_weather += len(config.sites)
+            if config.weather.storm is not None:
+                n_weather += 1
+        rngs = spawn_rngs(
+            as_rng(seed), 2 + len(config.sites) + n_extra_brokers + n_weather
+        )
         self._fault_rng = rngs[0]
         diurnal = (
             DiurnalProfile(amplitude=config.diurnal_amplitude)
@@ -411,6 +477,48 @@ class GridSimulator:
             bg.start()
         #: name -> site, so cancel() resolves job.site in O(1)
         self._site_by_name = {s.name: s for s in self.sites}
+        # -- grid weather / health / self-healing (all optional) ---------
+        self.outage_processes: list[OutageProcess] = []
+        self.storm: StormProcess | None = None
+        if config.weather is not None:
+            w_rngs = rngs[2 + len(config.sites) + n_extra_brokers :]
+            oc = config.weather.site_outages
+            if oc is not None:
+                for site, rng in zip(self.sites, w_rngs):
+                    proc = OutageProcess(
+                        site,
+                        self.sim,
+                        rng,
+                        mean_uptime=oc.mean_uptime,
+                        mean_downtime=oc.mean_downtime,
+                        kill_running=oc.kill_running,
+                    )
+                    proc.start()
+                    self.outage_processes.append(proc)
+                w_rngs = w_rngs[len(self.sites) :]
+            if config.weather.storm is not None:
+                self.storm = StormProcess(
+                    self.sites, self.sim, w_rngs[0], config.weather.storm
+                )
+                self.storm.start()
+            for bh in config.weather.black_holes:
+                site = self._site_by_name[bh.site]
+                self.sim.schedule_at(bh.start, site.begin_black_hole)
+                if math.isfinite(bh.duration):
+                    self.sim.schedule_at(
+                        bh.start + bh.duration, site.end_black_hole
+                    )
+        self._health: HealthService | None = None
+        if config.health is not None:
+            self._health = HealthService(self.sites, self.sim, config.health)
+            for site in self.sites:
+                site.on_fail = self._notify_fail
+            for broker in self.brokers:
+                broker.enable_health()
+        self._agent: ResubmissionAgent | None = None
+        if config.resubmit is not None:
+            self._agent = ResubmissionAgent(self.sim, config.resubmit)
+            self._agent.start()
         #: block-drawn fault uniforms (one per Bernoulli draw, consumed
         #: in the same order the scalar channel draws were)
         self._fault_uniforms: deque[float] = deque()
@@ -633,15 +741,67 @@ class GridSimulator:
         """Capture the current state as a restorable :class:`GridSnapshot`."""
         return GridSnapshot(self)
 
+    def report_failed(self, jobs: list[Job]) -> None:
+        """Report jobs a client gave up on to the health service.
+
+        Strategy timeouts are the WMS's main signal that a site is
+        swallowing work: a job still QUEUED at its site when the client's
+        ``t_inf`` fires counts as one observed failure against that site.
+        No-op on grids without a health machine.
+        """
+        health = self._health
+        if health is None:
+            return
+        for job in jobs:
+            if job.state is JobState.QUEUED and job.site:
+                health.observe_failure(job.site)
+
     # -- internals -------------------------------------------------------
 
     def _notify_start(self, job: Job) -> None:
+        if self._health is not None and job.site:
+            self._health.observe_success(job.site)
         watcher = job.on_start
         if watcher is not None:
             job.on_start = None
             watcher(job)
 
+    def _notify_fail(self, job: Job) -> None:
+        # site-side instant failures (black-hole CE) reach the health
+        # machine through the site's on_fail hook
+        if self._health is not None and job.site:
+            self._health.observe_failure(job.site)
+
     # -- telemetry -------------------------------------------------------
+
+    def weather_report(self) -> dict:
+        """Cumulative weather/health/self-healing telemetry.
+
+        Cheap enough to call repeatedly; always available (zeros on calm
+        grids), with ``"health"`` / ``"resubmit"`` sections present only
+        when those services are configured.
+        """
+        report: dict = {
+            "outages_started": sum(
+                p.outages_started for p in self.outage_processes
+            ),
+            "storms_started": 0,
+            "jobs_killed": {s.name: s.jobs_killed for s in self.sites},
+            "black_hole_failures": {
+                s.name: s.jobs_failed_bh for s in self.sites
+            },
+        }
+        if self.storm is not None:
+            report["storms_started"] = self.storm.storms_started
+            report["outages_started"] += self.storm.outages_started
+        if self._health is not None:
+            report["health"] = self._health.report()
+        if self._agent is not None:
+            report["resubmit"] = {
+                "detected": self._agent.detected,
+                "resubmissions": self._agent.resubmissions,
+            }
+        return report
 
     def total_queue_length(self) -> int:
         """Jobs waiting across all sites."""

@@ -34,6 +34,9 @@ class JobState(enum.Enum):
     LOST = "lost"
     #: sitting in a queue it will never leave (site misconfiguration)
     STUCK = "stuck"
+    #: failed at the site (black-hole CE, worker-node death) — the job
+    #: was accepted and "completed" as a failure without ever starting
+    FAILED = "failed"
 
 
 @dataclass(eq=False, slots=True)
@@ -93,8 +96,13 @@ class Job:
 
     @property
     def is_outlier(self) -> bool:
-        """True if the job never started (lost, stuck, or cancelled)."""
-        return self.state in (JobState.LOST, JobState.STUCK, JobState.CANCELLED)
+        """True if the job never started (lost, stuck, cancelled, failed)."""
+        return self.state in (
+            JobState.LOST,
+            JobState.STUCK,
+            JobState.CANCELLED,
+            JobState.FAILED,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Job(#{self.job_id}, {self.state.value}, site={self.site or '-'})"

@@ -40,6 +40,9 @@ class GridSample:
         vectorised site engine this is a reconciled lazy count — sampling
         it is one of the interaction points that advances the background
         lane to the sample time.
+    outages_started:
+        Cumulative site-down events at sample time (per-site renewal
+        outages plus storm hits); 0 on calm grids.
     """
 
     time: float
@@ -48,6 +51,7 @@ class GridSample:
     utilization: float
     jobs_submitted: int
     jobs_completed: int = 0
+    outages_started: int = 0
 
 
 @dataclass
@@ -84,14 +88,19 @@ class GridMonitor:
         if not self._running or len(self.samples) >= self.max_samples:
             self._running = False
             return
+        grid = self.grid
+        outages = sum(p.outages_started for p in grid.outage_processes)
+        if grid.storm is not None:
+            outages += grid.storm.outages_started
         self.samples.append(
             GridSample(
-                time=self.grid.now,
-                queued=self.grid.total_queue_length(),
-                busy_cores=self.grid.total_busy_cores(),
-                utilization=self.grid.utilization(),
-                jobs_submitted=self.grid.jobs_submitted,
-                jobs_completed=sum(s.jobs_completed for s in self.grid.sites),
+                time=grid.now,
+                queued=grid.total_queue_length(),
+                busy_cores=grid.total_busy_cores(),
+                utilization=grid.utilization(),
+                jobs_submitted=grid.jobs_submitted,
+                jobs_completed=sum(s.jobs_completed for s in grid.sites),
+                outages_started=outages,
             )
         )
         self.grid.sim.schedule(self.period, self._tick)

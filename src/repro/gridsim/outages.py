@@ -51,6 +51,8 @@ class OutageProcess:
         self.kill_running = kill_running
         self.is_down = False
         self.outages_started = 0
+        #: jobs this process's outages killed mid-run (both lanes)
+        self.jobs_killed = 0
 
     def start(self) -> None:
         """Arm the process (first outage after one up period)."""
@@ -66,7 +68,9 @@ class OutageProcess:
         # stay idle until recovery because the gate is closed.  Both site
         # engines implement the hook — the vectorised lane reconciles its
         # background commits to now before sampling the kills.
+        before = self.site.jobs_killed
         self.site.begin_outage(self.rng, self.kill_running)
+        self.jobs_killed += self.site.jobs_killed - before
         self.sim.schedule(
             float(self.rng.exponential(self.mean_downtime)), self._come_up
         )

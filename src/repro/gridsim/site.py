@@ -20,7 +20,15 @@ Two engines implement the same site contract:
 Both engines support in-queue cancellation (strategy timeouts) and
 mid-run kills (burst copies whose sibling started first), plus the
 outage hooks :meth:`begin_outage` / :meth:`end_outage` used by
-:class:`~repro.gridsim.outages.OutageProcess`.
+:class:`~repro.gridsim.outages.OutageProcess` and the *black-hole*
+hooks :meth:`begin_black_hole` / :meth:`end_black_hole` used by
+:mod:`repro.gridsim.weather`: a black-holed CE keeps accepting jobs
+and instantly "completes" them as failures (``JobState.FAILED``), so
+its queue-length estimate stays at zero and the information system
+keeps ranking it best — the classic traffic-eating attractor.  On the
+vectorised engine the state flip reconciles the background lane first
+(same pattern as ``begin_outage``) and then consumes arrivals without
+occupying cores for as long as the hole is active.
 """
 
 from __future__ import annotations
@@ -54,6 +62,17 @@ class ComputingElement:
     vectorised lane is verified against.
     """
 
+    #: while True the CE accepts and instantly "completes" every job as
+    #: a failure (grid-weather black hole); class attribute so that
+    #: unconfigured grids never pay an instance slot for it
+    black_hole = False
+    #: failure watcher (health service): called with each non-background
+    #: job the site fails
+    on_fail: Callable[[Job], None] | None = None
+    #: match-making penalty published to health-aware brokers
+    #: (1.0 ok, >1 degraded, inf banned)
+    health_penalty = 1.0
+
     def __init__(
         self,
         name: str,
@@ -83,6 +102,10 @@ class ComputingElement:
         #: cumulative counters for utilisation diagnostics
         self.jobs_started = 0
         self.jobs_completed = 0
+        #: running jobs killed by outages / black-hole flips
+        self.jobs_killed = 0
+        #: jobs failed on arrival (or drained) by a black hole
+        self.jobs_failed_bh = 0
 
     # -- queue operations ------------------------------------------------
 
@@ -90,6 +113,9 @@ class ComputingElement:
         """Accept a dispatched job into the batch queue."""
         if job.state not in (JobState.MATCHING, JobState.CREATED):
             raise ValueError(f"cannot enqueue job in state {job.state}")
+        if self.black_hole:
+            self._fail_now(job)
+            return
         job.state = JobState.QUEUED
         job.site = self.name
         job.queue_time = self.sim._now
@@ -107,6 +133,8 @@ class ComputingElement:
         vectorised engine's batch path produces.  Jobs no longer in a
         dispatchable state on entry are skipped.
         """
+        if self.black_hole:
+            return self._fail_batch(jobs)
         n = 0
         now = self.sim._now
         for job in jobs:
@@ -194,11 +222,82 @@ class ComputingElement:
         for job in list(self.running_jobs.values()):
             if rng.random() < kill_running:
                 self.cancel(job)
+                self.jobs_killed += 1
 
     def end_outage(self) -> None:
         """Reopen the dispatch gate and drain the queue."""
         self.dispatch_enabled = True
         self._try_start()
+
+    # -- black-hole hooks --------------------------------------------------
+
+    def begin_black_hole(self) -> None:
+        """Flip into the attractor state: fail queued work, kill running.
+
+        From this instant the CE "completes" every accepted job as an
+        instant :data:`JobState.FAILED`, keeping its queue empty and all
+        cores free — so its published wait estimate is the best on the
+        grid and the information system keeps feeding it traffic.
+        Idempotent.
+        """
+        if self.black_hole:
+            return
+        self.black_hole = True
+        now = self.sim._now
+        on_fail = self.on_fail
+        for job in self.queue:
+            if job.state is not JobState.QUEUED:
+                continue
+            job.state = JobState.FAILED
+            job.end_time = now
+            self.jobs_failed_bh += 1
+            if on_fail is not None and job.tag != "background":
+                on_fail(job)
+        self.queue.clear()
+        self._queue_husks = 0
+        for job in list(self.running_jobs.values()):
+            ev = job.completion_event
+            if ev is not None:
+                ev.cancel()
+                job.completion_event = None
+            job.state = JobState.FAILED
+            job.end_time = now
+            self.free_cores += 1
+            self.jobs_killed += 1
+        self.running_jobs.clear()
+
+    def end_black_hole(self) -> None:
+        """Resume normal operation (queue and cores are already empty)."""
+        if not self.black_hole:
+            return
+        self.black_hole = False
+        if self.dispatch_enabled:
+            self._try_start()
+
+    def _fail_now(self, job: Job) -> None:
+        """Instantly fail an arriving job (black-hole intercept)."""
+        now = self.sim._now
+        job.state = JobState.FAILED
+        job.site = self.name
+        job.queue_time = now
+        job.end_time = now
+        self.jobs_failed_bh += 1
+        if self.on_fail is not None and job.tag != "background":
+            self.on_fail(job)
+
+    def _fail_batch(self, jobs: list[Job]) -> int:
+        """Black-hole path of ``enqueue_many``: every job fails on arrival.
+
+        Returns the count so WMS dispatch accounting still sees them as
+        accepted — exactly how the real attractor keeps drawing traffic.
+        """
+        n = 0
+        for job in jobs:
+            if job.state not in (JobState.MATCHING, JobState.CREATED):
+                continue
+            self._fail_now(job)
+            n += 1
+        return n
 
     # -- internals ---------------------------------------------------------
 
@@ -298,6 +397,11 @@ class VectorComputingElement:
     event-driven oracle wherever no same-timestamp tie is involved.
     """
 
+    #: grid-weather hooks, mirrored from :class:`ComputingElement`
+    black_hole = False
+    on_fail: Callable[[Job], None] | None = None
+    health_penalty = 1.0
+
     def __init__(
         self,
         name: str,
@@ -337,6 +441,10 @@ class VectorComputingElement:
         self._dispatch_floor = 0.0
         self._started = 0
         self._killed = 0
+        #: running jobs killed by outages / black-hole flips
+        self.jobs_killed = 0
+        #: jobs failed on arrival (or drained) by a black hole
+        self.jobs_failed_bh = 0
         #: earliest instant the next commit can happen — ``_advance``
         #: returns immediately while ``now`` is before it.  Computed at
         #: the end of every walk; any mutation that could create an
@@ -383,6 +491,9 @@ class VectorComputingElement:
         """Accept a dispatched client job into the FIFO."""
         if job.state not in (JobState.MATCHING, JobState.CREATED):
             raise ValueError(f"cannot enqueue job in state {job.state}")
+        if self.black_hole:
+            self._fail_now(job)
+            return
         job.state = JobState.QUEUED
         job.site = self.name
         job.queue_time = self.sim._now
@@ -408,6 +519,8 @@ class VectorComputingElement:
         husks, the same outcome the per-job path reaches via
         :meth:`~repro.gridsim.wms.WorkloadManager.cancel_matching`.
         """
+        if self.black_hole:
+            return self._fail_batch(jobs)
         now = self.sim._now
         cq = self._client_q
         if self._client_husks == len(cq):
@@ -510,6 +623,7 @@ class VectorComputingElement:
         background cores — same draw count, i.i.d., law-identical.
         """
         self._advance()
+        killed0 = self._killed
         self.dispatch_enabled = False
         if self._wake is not None:
             self._wake.cancel()
@@ -537,6 +651,7 @@ class VectorComputingElement:
                 changed = True
         if changed:
             heapify(cf)
+        self.jobs_killed += self._killed - killed0
 
     def end_outage(self) -> None:
         """Reopen the dispatch gate and drain whatever can start now."""
@@ -546,6 +661,98 @@ class VectorComputingElement:
         self._lane_epoch += 1
         self._advance()
         self._ensure_wake()
+
+    # -- black-hole hooks --------------------------------------------------
+
+    def begin_black_hole(self) -> None:
+        """Flip into the attractor state (see the oracle's docstring).
+
+        Reconciles the background lane first, then fails every waiting
+        job (client FIFO and arrived-but-unstarted background entries)
+        and kills everything running, freeing all cores to *now* — so
+        the published wait estimate collapses to zero.  Idempotent.
+        """
+        if self.black_hole:
+            return
+        self._advance()
+        self.black_hole = True
+        if self._wake is not None:
+            self._wake.cancel()
+            self._wake = None
+        now = self.sim._now
+        on_fail = self.on_fail
+        for job in self._client_q:
+            if job.state is not JobState.QUEUED:
+                continue
+            job.state = JobState.FAILED
+            job.end_time = now
+            self.jobs_failed_bh += 1
+            if on_fail is not None and job.tag != "background":
+                on_fail(job)
+        self._client_q.clear()
+        self._client_husks = 0
+        # background arrivals waiting in the lane fail without starting
+        j = bisect_right(self._bg_t, now, self._bg_i)
+        self.jobs_failed_bh += j - self._bg_i
+        self._bg_i = j
+        for job in list(self.running_jobs.values()):
+            ev = job.completion_event
+            if ev is not None:
+                ev.cancel()
+                job.completion_event = None
+            job.state = JobState.FAILED
+            job.end_time = now
+            self._release_core(job.start_time + job.runtime, now)
+            self._killed += 1
+            self.jobs_killed += 1
+        self.running_jobs.clear()
+        # every core still busy now runs background work — kill those too
+        cf = self._core_free
+        changed = False
+        for k, v in enumerate(cf):
+            if v > now:
+                cf[k] = now
+                self._killed += 1
+                self.jobs_killed += 1
+                changed = True
+        if changed:
+            heapify(cf)
+
+    def end_black_hole(self) -> None:
+        """Resume normal operation; arrivals during the hole stay failed."""
+        if not self.black_hole:
+            return
+        # drain (as failures) anything that arrived inside the hole
+        j = bisect_right(self._bg_t, self.sim._now, self._bg_i)
+        self.jobs_failed_bh += j - self._bg_i
+        self._bg_i = j
+        self.black_hole = False
+        self._next_due = 0.0
+        self._lane_epoch += 1
+        if self.dispatch_enabled:
+            self._advance()
+            self._ensure_wake()
+
+    def _fail_now(self, job: Job) -> None:
+        """Instantly fail an arriving client job (black-hole intercept)."""
+        now = self.sim._now
+        job.state = JobState.FAILED
+        job.site = self.name
+        job.queue_time = now
+        job.end_time = now
+        self.jobs_failed_bh += 1
+        if self.on_fail is not None and job.tag != "background":
+            self.on_fail(job)
+
+    def _fail_batch(self, jobs: list[Job]) -> int:
+        """Black-hole path of ``enqueue_many``: every job fails on arrival."""
+        n = 0
+        for job in jobs:
+            if job.state not in (JobState.MATCHING, JobState.CREATED):
+                continue
+            self._fail_now(job)
+            n += 1
+        return n
 
     # -- the vector lane ---------------------------------------------------
 
@@ -567,6 +774,13 @@ class VectorComputingElement:
         instead of re-binding the whole walk state.
         """
         t = self.sim._now
+        if self.black_hole:
+            # arrivals inside a hole fail instantly, never occupying cores
+            j = bisect_right(self._bg_t, t, self._bg_i)
+            if j > self._bg_i:
+                self.jobs_failed_bh += j - self._bg_i
+                self._bg_i = j
+            return
         if t < self._next_due or not self.dispatch_enabled:
             return
         floor = self._dispatch_floor

@@ -1,0 +1,305 @@
+"""Grid weather: correlated outage storms, black-hole sites, self-healing.
+
+Independent per-site renewal outages (:mod:`repro.gridsim.outages`)
+miss the two failure regimes that actually shape production-grid
+workloads ("Mining the Workload of Real Grid Computing Systems"):
+
+* **storms** — correlated multi-site outages (a shared service, a
+  network segment, a power event takes a random subset of sites down
+  *together*), modelled here as a Poisson storm process
+  (:class:`StormProcess`);
+* **black holes** — sites whose CE accepts jobs and instantly
+  "completes" them as failures, so their published queue estimate is
+  permanently the best on the grid and match-making keeps feeding them
+  (:class:`BlackHoleConfig`, executed by the site engines'
+  ``begin_black_hole`` / ``end_black_hole`` hooks).
+
+The counterpart is the middleware's answer: a service-side
+:class:`ResubmissionAgent` (modelled on the resubmit daemons of grid
+analysis environments — see "Resource Management Services for a Grid
+Analysis Environment") that periodically sweeps for failed-and-missing
+work and resubmits it under a retry budget with exponential backoff, as
+a *system* policy composable with the paper's *user-side* strategies.
+
+All configs validate eagerly in ``__post_init__`` so a bad campaign
+dies at construction, not three simulated days in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.gridsim.jobs import JobState
+from repro.util.validation import (
+    check_int_at_least,
+    check_nonnegative,
+    check_positive,
+    check_probability,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.gridsim.events import Simulator
+
+__all__ = [
+    "OutageConfig",
+    "StormConfig",
+    "BlackHoleConfig",
+    "WeatherConfig",
+    "StormProcess",
+    "ResubmitConfig",
+    "ResubmissionAgent",
+]
+
+
+@dataclass(frozen=True)
+class OutageConfig:
+    """Independent per-site renewal outages, applied to every site.
+
+    The declarative form of wiring one
+    :class:`~repro.gridsim.outages.OutageProcess` per site by hand —
+    each site gets its own RNG stream and its own up/down renewal.
+    """
+
+    #: mean up period between outages (s, exponential)
+    mean_uptime: float = 86_400.0
+    #: mean outage duration (s, exponential)
+    mean_downtime: float = 3_600.0
+    #: probability each running job is killed when the site goes down
+    kill_running: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("mean_uptime", self.mean_uptime)
+        check_positive("mean_downtime", self.mean_downtime)
+        check_probability("kill_running", self.kill_running)
+
+
+@dataclass(frozen=True)
+class StormConfig:
+    """Correlated multi-site outage storms (shared Poisson process)."""
+
+    #: mean time between storms (s, exponential)
+    mean_interval: float = 86_400.0
+    #: mean storm duration (s, exponential, shared by the hit subset)
+    mean_duration: float = 7_200.0
+    #: sites taken down together per storm
+    subset_size: int = 2
+    #: probability each running job on a hit site is killed
+    kill_running: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("mean_interval", self.mean_interval)
+        check_positive("mean_duration", self.mean_duration)
+        check_int_at_least("subset_size", self.subset_size, 1)
+        check_probability("kill_running", self.kill_running)
+
+
+@dataclass(frozen=True)
+class BlackHoleConfig:
+    """A deterministic black-hole window at one named site.
+
+    Deterministic on purpose: the attractor dynamics (traffic piling
+    into the hole) are what the experiments measure, so the hole itself
+    consumes no randomness and stays bit-identical across engines.
+    """
+
+    #: name of the site that turns into a black hole
+    site: str
+    #: instant the hole opens (virtual seconds)
+    start: float = 0.0
+    #: how long it lasts; ``inf`` = never recovers
+    duration: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.site, str) or not self.site:
+            raise ValueError(
+                f"black-hole site must be a non-empty string, got {self.site!r}"
+            )
+        check_nonnegative("start", self.start)
+        if not self.duration > 0.0:  # inf allowed
+            raise ValueError(
+                f"duration must be > 0, got {self.duration!r}"
+            )
+
+
+@dataclass(frozen=True)
+class WeatherConfig:
+    """The grid's weather regime: any mix of the three processes."""
+
+    #: independent per-site renewal outages (None = calm)
+    site_outages: OutageConfig | None = None
+    #: correlated storm process (None = no storms)
+    storm: StormConfig | None = None
+    #: scheduled black-hole windows
+    black_holes: tuple[BlackHoleConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.site_outages is not None and not isinstance(
+            self.site_outages, OutageConfig
+        ):
+            raise TypeError(
+                "site_outages must be an OutageConfig, "
+                f"got {type(self.site_outages).__name__}"
+            )
+        if self.storm is not None and not isinstance(self.storm, StormConfig):
+            raise TypeError(
+                f"storm must be a StormConfig, got {type(self.storm).__name__}"
+            )
+        object.__setattr__(self, "black_holes", tuple(self.black_holes))
+        for bh in self.black_holes:
+            if not isinstance(bh, BlackHoleConfig):
+                raise TypeError(
+                    "black_holes entries must be BlackHoleConfig, "
+                    f"got {type(bh).__name__}"
+                )
+
+
+class StormProcess:
+    """Shared Poisson storm process downing random site subsets together.
+
+    Each storm hits ``subset_size`` distinct sites drawn without
+    replacement (sorted, so the order of ``begin_outage`` calls — and
+    therefore kill-draw consumption — is deterministic given the
+    choice); sites already down ride the storm out unaffected.  The
+    whole subset recovers together after one shared exponential
+    duration, mirroring the shared-cause semantics (one broken service,
+    one fix).
+    """
+
+    def __init__(
+        self,
+        sites: list,
+        sim: "Simulator",
+        rng: np.random.Generator,
+        config: StormConfig,
+    ) -> None:
+        if config.subset_size > len(sites):
+            raise ValueError(
+                f"storm subset_size={config.subset_size} exceeds the "
+                f"{len(sites)} configured site(s)"
+            )
+        self.sites = sites
+        self.sim = sim
+        self.rng = rng
+        self.config = config
+        self.storms_started = 0
+        #: individual site-down events across all storms
+        self.outages_started = 0
+
+    def start(self) -> None:
+        """Schedule the first storm."""
+        self.sim.schedule(
+            self.rng.exponential(self.config.mean_interval), self._storm
+        )
+
+    def _storm(self) -> None:
+        cfg = self.config
+        n = len(self.sites)
+        picks = sorted(self.rng.choice(n, size=cfg.subset_size, replace=False))
+        duration = self.rng.exponential(cfg.mean_duration)
+        self.storms_started += 1
+        hit = []
+        for k in picks:
+            site = self.sites[k]
+            if not site.dispatch_enabled:
+                continue  # already down: the storm changes nothing for it
+            site.begin_outage(self.rng, cfg.kill_running)
+            self.outages_started += 1
+            hit.append(site)
+        if hit:
+            self.sim.schedule(duration, partial(self._recover, hit))
+        # the next storm clock runs from the storm *start* (Poisson
+        # arrivals are oblivious to how long the damage lasts)
+        self.sim.schedule(self.rng.exponential(cfg.mean_interval), self._storm)
+
+    def _recover(self, hit: list) -> None:
+        for site in hit:
+            if not site.dispatch_enabled:
+                site.end_outage()
+
+
+@dataclass(frozen=True)
+class ResubmitConfig:
+    """Retry budget and backoff of the self-healing resubmission agent."""
+
+    #: seconds between monitoring sweeps
+    period: float = 300.0
+    #: system-side resubmissions allowed per task
+    max_retries: int = 3
+    #: backoff before the first resubmission (s)
+    backoff_base: float = 60.0
+    #: multiplier applied per successive resubmission of the same task
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        check_positive("period", self.period)
+        check_int_at_least("max_retries", self.max_retries, 0)
+        check_nonnegative("backoff_base", self.backoff_base)
+        if not self.backoff_factor >= 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+
+
+#: job states the agent treats as dead-and-gone (resubmission candidates)
+_DEAD = (JobState.LOST, JobState.STUCK, JobState.FAILED)
+
+
+class ResubmissionAgent:
+    """Service-side monitor that resubmits failed-and-missing work.
+
+    Strategy executors register every ``(task, job)`` pair they submit
+    (:meth:`watch`); each sweep drops finished tasks, finds watched jobs
+    that died without their task completing, and — if the task still has
+    retry budget — schedules one system-side resubmission after an
+    exponential backoff.  The agent is a *system* policy: it composes
+    with (and is invisible to) the paper's user-side strategies, which
+    keep their own timeouts and their own resubmission logic.
+    """
+
+    def __init__(self, sim: "Simulator", config: ResubmitConfig) -> None:
+        self.sim = sim
+        self.config = config
+        #: live watch list of (task, job) pairs
+        self._watch: list = []
+        #: dead jobs noticed across all sweeps
+        self.detected = 0
+        #: system-side resubmissions performed
+        self.resubmissions = 0
+
+    def start(self) -> None:
+        """Begin the periodic monitoring sweeps."""
+        self.sim.schedule(self.config.period, self._sweep)
+
+    def watch(self, task, job) -> None:
+        """Register a submitted job for monitoring on behalf of ``task``."""
+        self._watch.append((task, job))
+
+    def _sweep(self) -> None:
+        cfg = self.config
+        live = []
+        for task, job in self._watch:
+            if task.done:
+                continue  # the task made it; stop watching all its jobs
+            if job.state in _DEAD:
+                self.detected += 1
+                if task.agent_retries < cfg.max_retries:
+                    delay = cfg.backoff_base * (
+                        cfg.backoff_factor**task.agent_retries
+                    )
+                    task.agent_retries += 1
+                    self.sim.schedule(delay, partial(self._resubmit, task))
+                continue  # dead jobs leave the watch list either way
+            live.append((task, job))
+        self._watch = live
+        self.sim.schedule(cfg.period, self._sweep)
+
+    def _resubmit(self, task) -> None:
+        if task.done:
+            return  # a sibling copy started while the backoff ran
+        self.resubmissions += 1
+        # submit_copy registers the new job with this agent again
+        task.submit_copy()

@@ -54,6 +54,18 @@ _DRAW_BLOCK = 256
 class WorkloadManager:
     """Match-maker and dispatcher over a set of computing elements."""
 
+    #: health-aware ranking (set by :meth:`enable_health`): when on, the
+    #: stale snapshot also carries each site's ``health_penalty`` and the
+    #: ranking score becomes ``(est + mm) · noise · penalty`` — banned
+    #: sites (penalty inf) are masked out of match-making.  Class
+    #: attributes so unconfigured grids pay nothing, not even a slot.
+    _health_aware = False
+    #: any penalty != 1 in the current snapshot (cheap fast-path guard)
+    _penalised = False
+    #: every site banned — fall back to unpenalised ranking rather than
+    #: dispatch nothing (the grid has nowhere better to send work)
+    _all_masked = False
+
     def __init__(
         self,
         sim: Simulator,
@@ -104,7 +116,30 @@ class WorkloadManager:
         loads = [s.estimated_wait(self.runtime_guess) for s in self.sites]
         self._snapshot_list = loads
         self._snapshot = np.asarray(loads)
+        if self._health_aware:
+            self._refresh_health(range(len(self.sites)))
         return self._snapshot
+
+    def enable_health(self) -> None:
+        """Fold site health penalties into ranking (health-aware grids).
+
+        Penalties are read only here and at snapshot refreshes, so a ban
+        propagates with the information system's staleness — the WMS
+        keeps feeding a just-banned site until its next refresh, exactly
+        like a production broker working from a stale BDII view.
+        """
+        self._health_aware = True
+        self._pen_list = [1.0] * len(self.sites)
+        self._refresh_health(range(len(self.sites)))
+
+    def _refresh_health(self, indices) -> None:
+        pl = self._pen_list
+        sites = self.sites
+        for i in indices:
+            pl[i] = sites[i].health_penalty
+        self._penalised = any(p != 1.0 for p in pl)
+        self._all_masked = self._penalised and all(p == math.inf for p in pl)
+        self._pen_vec = np.asarray(pl)
 
     def current_snapshot(self) -> np.ndarray:
         """Stale load estimates, refreshed every ``info_refresh`` seconds."""
@@ -161,6 +196,9 @@ class WorkloadManager:
     def _select_index(self) -> int:
         """Index of the ranked-best site (snapshot must be current)."""
         est = self._snapshot_list
+        # the penalised branches consume the exact same noise draws as
+        # the plain ones, so enabling health never shifts any RNG stream
+        use_pen = self._penalised and not self._all_masked
         if self.ranking_noise > 0.0:
             if self._noise_next >= len(self._noise_rows):
                 self._noise_rows = self.rng.lognormal(
@@ -172,10 +210,30 @@ class WorkloadManager:
             mm = self.matchmaking_median
             # site counts are small (5–20): a plain loop beats the fixed
             # overhead of numpy ufuncs + argmin on tiny arrays
+            if use_pen:
+                pen = self._pen_list
+                best = 0
+                best_score = (est[0] + mm) * noise[0] * pen[0]
+                for i in range(1, len(est)):
+                    score = (est[i] + mm) * noise[i] * pen[i]
+                    if score < best_score:
+                        best = i
+                        best_score = score
+            else:
+                best = 0
+                best_score = (est[0] + mm) * noise[0]
+                for i in range(1, len(est)):
+                    score = (est[i] + mm) * noise[i]
+                    if score < best_score:
+                        best = i
+                        best_score = score
+        elif use_pen:
+            mm = self.matchmaking_median
+            pen = self._pen_list
             best = 0
-            best_score = (est[0] + mm) * noise[0]
+            best_score = (est[0] + mm) * pen[0]
             for i in range(1, len(est)):
-                score = (est[i] + mm) * noise[i]
+                score = (est[i] + mm) * pen[i]
                 if score < best_score:
                     best = i
                     best_score = score
@@ -330,9 +388,18 @@ class BatchedWorkloadManager(WorkloadManager):
                     then(job)
             return
         est = self._snapshot
+        use_pen = self._penalised and not self._all_masked
         if self.ranking_noise > 0.0:
             noise = self.rng.lognormal(0.0, self.ranking_noise, size=(k, est.size))
-            choices = ((est + self.matchmaking_median) * noise).argmin(axis=1)
+            scores = (est + self.matchmaking_median) * noise
+            if use_pen:
+                scores *= self._pen_vec
+            choices = scores.argmin(axis=1)
+        elif use_pen:
+            choices = np.full(
+                k,
+                int(np.argmin((est + self.matchmaking_median) * self._pen_vec)),
+            )
         else:
             choices = np.full(k, int(np.argmin(est)))
         # group winners per site, preserving dispatch order within a site

@@ -9,7 +9,7 @@ brokers dispatch on views the fleet load itself is ageing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 
 import numpy as np
@@ -78,6 +78,10 @@ class PopulationResult:
     site_usage_shares:
         Per-site decayed VO usage fractions at the end of the run
         (fair-share sites only).
+    weather:
+        Grid weather/health/self-healing telemetry at the end of the run
+        (:meth:`~repro.gridsim.grid.GridSimulator.weather_report` —
+        cumulative grid-lifetime counters, all zero on calm grids).
     """
 
     fleets: tuple[FleetOutcome, ...]
@@ -86,6 +90,7 @@ class PopulationResult:
     jobs_stuck: int
     broker_dispatches: tuple[int, ...]
     site_usage_shares: dict[str, dict[str, float]]
+    weather: dict = field(default_factory=dict)
 
     @property
     def total_finished(self) -> int:
@@ -197,4 +202,5 @@ def run_population(
             for b, d0 in zip(grid.brokers, dispatched_before)
         ),
         site_usage_shares=usage,
+        weather=grid.weather_report(),
     )

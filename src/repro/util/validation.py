@@ -13,6 +13,7 @@ from typing import Any
 __all__ = [
     "check_finite",
     "check_in_range",
+    "check_int_at_least",
     "check_positive",
     "check_nonnegative",
     "check_probability",
@@ -52,6 +53,21 @@ def check_probability(name: str, value: float) -> float:
     if not 0.0 <= value <= 1.0:
         raise ValueError(f"{name} must be in [0, 1], got {value!r}")
     return value
+
+
+def check_int_at_least(name: str, value: int, minimum: int) -> int:
+    """Ensure ``value`` is an integer >= ``minimum``; return it as ``int``."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    try:
+        as_int = int(value)
+    except (TypeError, ValueError) as exc:
+        raise TypeError(f"{name} must be an integer, got {value!r}") from exc
+    if as_int != value:
+        raise TypeError(f"{name} must be an integer, got {value!r}")
+    if as_int < minimum:
+        raise ValueError(f"{name} must be >= {minimum}, got {value!r}")
+    return as_int
 
 
 def check_in_range(

@@ -110,6 +110,34 @@ class TestFederation:
         assert code == 2 and "error" in text and "utilization" in text
 
 
+class TestWeather:
+    def test_storm_run_reports_weather_and_health(self):
+        code, text = run_cli(
+            "weather", "--regime", "storms", "--strategy", "delayed",
+            "--tasks", "30",
+        )
+        assert code == 0
+        assert "30 delayed tasks under storms weather" in text
+        assert "self-healing off" in text
+        assert "weather:" in text and "outages" in text
+        assert "site health:" in text
+
+    def test_self_healing_flag_reports_agent_counters(self):
+        code, text = run_cli(
+            "weather", "--regime", "black-hole", "--tasks", "30",
+            "--self-healing",
+        )
+        assert code == 0
+        assert "self-healing on" in text
+        assert "failures detected" in text and "resubmissions" in text
+
+    def test_bad_arguments(self):
+        code, text = run_cli("weather", "--tasks", "0")
+        assert code == 2 and "n_tasks" in text
+        code, text = run_cli("weather", "--t-inf", "-5")
+        assert code == 2 and "t_inf" in text
+
+
 class TestBench:
     def test_bench_invokes_harness_with_passthrough_flags(self):
         from repro.cli import _cmd_bench, build_parser

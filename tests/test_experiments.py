@@ -317,6 +317,37 @@ class TestMultiVo:
             run_experiment("multi-vo", n_tasks=600, b=1)
 
 
+class TestGridWeather:
+    def test_small_run_structure(self):
+        res = run_experiment(
+            "grid-weather", n_tasks=20, task_interval=60.0, warm=1800.0
+        )
+        frontier, telemetry = res.tables
+        assert len(frontier.rows) == 6  # 3 regimes x healing on/off
+        assert len(telemetry.rows) == 6
+        rows = frontier.as_dicts()
+        regimes = {r["regime"] for r in rows}
+        assert regimes == {"calm", "storms", "black hole"}
+        for row in rows:
+            assert row["best U"]  # every cell elects a winner
+        tel = telemetry.as_dicts()
+        by_cell = {(r["regime"], r["self-healing"]): r for r in tel}
+        # calm weather reports no structural damage
+        assert by_cell[("calm", "off")]["outages"] == 0
+        assert by_cell[("calm", "off")]["black-hole failures"] == 0
+        # the hole regime records hole failures; healing resubmits
+        assert int(by_cell[("black hole", "off")]["black-hole failures"]) > 0
+        assert int(by_cell[("black hole", "on")]["agent resubmits"]) > 0
+        assert len(res.notes) == 5
+        assert any("U = E(J)" in n for n in res.notes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_tasks"):
+            run_experiment("grid-weather", n_tasks=5)
+        with pytest.raises(ValueError, match="job_cost"):
+            run_experiment("grid-weather", job_cost=-1.0)
+
+
 class TestRender:
     def test_render_includes_tables_and_notes(self, ctx):
         res = run_experiment("table3", ctx=ctx)

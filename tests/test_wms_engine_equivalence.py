@@ -362,3 +362,106 @@ class TestDispatchBucketRaces:
         shares = grid.sites[0].usage_shares()
         assert set(shares) == {"biomed", "atlas"}
         assert all(0.0 <= v <= 1.0 for v in shares.values())
+
+
+class TestWeatherBucketRaces:
+    """Weather events racing the dispatch bucket, on every engine pair."""
+
+    def one_site_config(self, site_engine: str, wms_engine: str) -> GridConfig:
+        return GridConfig(
+            sites=(SiteConfig("only", 4, utilization=0.2, runtime_median=600.0),),
+            matchmaking_median=30.0,
+            faults=FaultModel(),
+            site_engine=site_engine,
+            wms_engine=wms_engine,
+        )
+
+    @pytest.mark.parametrize("wms_engine,site_engine", ENGINE_MATRIX)
+    def test_hole_opening_while_pooled_fails_the_dispatch(
+        self, wms_engine, site_engine
+    ):
+        """A job pooled in a bucket whose target turns black-hole before
+        the bucket resolves must die at the site, not vanish or hang."""
+        grid = GridSimulator(self.one_site_config(site_engine, wms_engine), seed=13)
+        grid.warm_up(1800.0)
+        site = grid.sites[0]
+        job = grid.submit(Job(runtime=100.0))
+        assert job.state is JobState.MATCHING
+        site.begin_black_hole()  # races the pooled dispatch
+        grid.run_until(grid.now + 5_000.0)
+        assert job.state is JobState.FAILED
+        # at least the client job; background arrivals may join it on
+        # the per-job event engine (the vector lane batches them away)
+        assert site.jobs_failed_bh >= 1
+        # the hole stamps the arrival, then fails it before any start
+        assert not np.isnan(job.queue_time)
+        assert np.isnan(job.start_time)
+        if hasattr(grid.wms, "pending_dispatches"):
+            assert grid.wms.pending_dispatches == 0
+
+    @pytest.mark.parametrize("wms_engine,site_engine", ENGINE_MATRIX)
+    def test_outage_while_pooled_parks_job_until_recovery(
+        self, wms_engine, site_engine
+    ):
+        """An outage opening under a pooled dispatch parks the job in the
+        site queue (dispatch disabled), and it runs once the site is back."""
+        grid = GridSimulator(self.one_site_config(site_engine, wms_engine), seed=17)
+        grid.warm_up(1800.0)
+        site = grid.sites[0]
+        job = grid.submit(Job(runtime=50.0))
+        site.begin_outage(np.random.default_rng(0), 0.0)
+        grid.run_until(grid.now + 2_000.0)
+        assert job.state is JobState.QUEUED  # enqueued but never started
+        site.end_outage()
+        grid.run_until(grid.now + 2_000.0)
+        assert job.state is JobState.COMPLETED
+
+    @pytest.mark.parametrize("wms_engine,site_engine", ENGINE_MATRIX)
+    def test_ban_masks_site_after_one_refresh(self, wms_engine, site_engine):
+        """Once a ban has had one information-system refresh to land,
+        no dispatch bucket feeds the banned site any more."""
+        from repro.gridsim import HealthConfig
+
+        cfg = config(
+            util=0.2,
+            site_engine=site_engine,
+            wms_engine=wms_engine,
+            faults=FaultModel(),
+            health=HealthConfig(min_observations=3, ban_cooldown=1e8),
+        )
+        grid = GridSimulator(cfg, seed=19)
+        grid.warm_up(1800.0)
+        for _ in range(10):
+            grid._health.observe_failure("b")
+        grid.run_until(grid.now + 2 * grid.config.info_refresh)
+        jobs = [grid.submit(Job(runtime=30.0)) for _ in range(10)]
+        grid.run_until(grid.now + 5_000.0)
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        # every client dispatch avoided the banned site (its background
+        # production load is site-local and keeps flowing regardless)
+        assert {j.site for j in jobs} <= {"a", "c"}
+
+    @pytest.mark.parametrize("wms_engine,site_engine", ENGINE_MATRIX)
+    def test_all_banned_falls_back_to_unpenalised_ranking(
+        self, wms_engine, site_engine
+    ):
+        """With every site banned the mask would starve the grid; the
+        WMS documents falling back to plain ranking instead."""
+        from repro.gridsim import HealthConfig
+
+        cfg = config(
+            util=0.2,
+            site_engine=site_engine,
+            wms_engine=wms_engine,
+            faults=FaultModel(),
+            health=HealthConfig(min_observations=3, ban_cooldown=1e8),
+        )
+        grid = GridSimulator(cfg, seed=29)
+        grid.warm_up(1800.0)
+        for name in ("a", "b", "c"):
+            for _ in range(10):
+                grid._health.observe_failure(name)
+        grid.run_until(grid.now + 2 * grid.config.info_refresh)
+        job = grid.submit(Job(runtime=30.0))
+        grid.run_until(grid.now + 5_000.0)
+        assert job.state is JobState.COMPLETED
