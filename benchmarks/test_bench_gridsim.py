@@ -232,3 +232,43 @@ def test_bench_weather_storm_day(benchmark):
     report = grid.weather_report()
     assert report["storms_started"] >= 1
     assert sum(report["black_hole_failures"].values()) > 0
+
+
+def test_bench_broker_storm_day(benchmark):
+    """Scenario: a task day through the middleware fault domain.
+
+    Storms down a broker together with a site subset, the submission
+    path errors (half the errors silently landing, so duplicates are
+    minted and reconciled), and every copy takes the resilient path —
+    backoff timers, circuit breakers, failover.  This bench pins the
+    cost of the retry/duplicate machinery riding on the client lane,
+    and its conservation audit keeps the bookkeeping honest under time
+    pressure.
+    """
+    from repro.gridsim import audit_conservation, fault_schedule
+    from repro.gridsim.chaos import chaos_grid_config, run_chaos
+
+    cfg = fault_schedule(
+        chaos_grid_config(n_sites=6, n_brokers=2, seed=3),
+        seed=29,
+        start=3_600.0,
+        window=6 * 3_600.0,
+        n_broker_outages=3,
+        p_fail=0.2,
+        p_landed=0.5,
+    )
+
+    def run():
+        return run_chaos(
+            cfg,
+            seed=17,
+            n_tasks=150,
+            warm=3_600.0,
+            task_interval=120.0,
+            horizon=86_400.0,
+        )
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert out.finished > 100
+    out.report.verify()
+    assert out.report.jobs >= 150

@@ -149,6 +149,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     weather_p.add_argument("--seed", type=int, default=43)
 
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="seeded middleware-fault campaigns + task-conservation audit",
+    )
+    chaos_p.add_argument(
+        "--matrix",
+        action="store_true",
+        help=(
+            "sweep the standard schedules over all four site×WMS engine "
+            "corners (the CI smoke job)"
+        ),
+    )
+    chaos_p.add_argument(
+        "--schedules",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "also audit N extra generator-drawn fault schedules "
+            "(seeds seed+1..seed+N) on the current engine pair"
+        ),
+    )
+    chaos_p.add_argument(
+        "--tasks", type=int, default=30, help="tasks per campaign"
+    )
+    chaos_p.add_argument(
+        "--horizon",
+        type=float,
+        default=8 * 3600.0,
+        help="campaign horizon after warm-up (s)",
+    )
+    chaos_p.add_argument("--seed", type=int, default=11)
+
     desc_p = sub.add_parser("describe", help="describe a paper trace set")
     desc_p.add_argument("week", help="trace-set name, e.g. 2006-IX")
     desc_p.add_argument("--seed", type=int, default=2009)
@@ -431,6 +464,91 @@ def _cmd_weather(args, out) -> int:
     return 0
 
 
+def _cmd_chaos(args, out) -> int:
+    """Audit task conservation under seeded middleware-fault schedules."""
+    from repro.gridsim.chaos import (
+        chaos_grid_config,
+        chaos_matrix,
+        fault_schedule,
+        run_chaos,
+        standard_schedules,
+    )
+    from repro.util.tables import Table
+
+    try:
+        base = chaos_grid_config(seed=args.seed)
+        schedules = standard_schedules(base)
+        schedules += [
+            (f"generated#{k}", fault_schedule(base, args.seed + k))
+            for k in range(1, args.schedules + 1)
+        ]
+        table = Table(
+            title="chaos campaigns: task-conservation audit",
+            columns=[
+                "corner",
+                "schedule",
+                "finished",
+                "gave up",
+                "copies",
+                "dups (reconciled)",
+                "audit",
+            ],
+        )
+        failures = 0
+        if args.matrix:
+            rows = chaos_matrix(
+                base,
+                schedules,
+                seed=args.seed,
+                n_tasks=args.tasks,
+                horizon=args.horizon,
+            )
+            for r in rows:
+                table.add_row(
+                    r["corner"],
+                    r["schedule"],
+                    r["finished"],
+                    r["gave_up"],
+                    r["jobs"],
+                    f"{r['duplicates']} ({r['reconciled']})",
+                    "ok" if r["ok"] else "VIOLATED",
+                )
+                if not r["ok"]:
+                    failures += 1
+                    for v in r["violations"]:
+                        out.write(f"violation [{r['corner']}/{r['schedule']}]: {v}\n")
+        else:
+            for name, cfg in schedules:
+                res = run_chaos(
+                    cfg,
+                    seed=args.seed,
+                    n_tasks=args.tasks,
+                    horizon=args.horizon,
+                )
+                table.add_row(
+                    f"{cfg.site_engine}×{cfg.wms_engine}",
+                    name,
+                    res.finished,
+                    res.gave_up,
+                    res.report.jobs,
+                    f"{res.report.duplicates} ({res.report.duplicates_reconciled})",
+                    "ok" if res.ok else "VIOLATED",
+                )
+                if not res.ok:
+                    failures += 1
+                    for v in res.report.violations:
+                        out.write(f"violation [{name}]: {v}\n")
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    out.write(table.render() + "\n")
+    if failures:
+        out.write(f"\n{failures} campaign(s) violated task conservation\n")
+        return 1
+    out.write("\nevery task accounted for exactly once\n")
+    return 0
+
+
 def _cmd_describe(args, out) -> int:
     if args.week not in PAPER_TABLE1:
         out.write(
@@ -495,6 +613,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_federation(args, out)
     if args.command == "weather":
         return _cmd_weather(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "describe":
         return _cmd_describe(args, out)
     if args.command == "bench":

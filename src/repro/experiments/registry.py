@@ -6,6 +6,7 @@ from typing import Callable
 
 from repro.experiments import (
     adoption_sweep,
+    broker_storm,
     eq5_discrepancy,
     family_sensitivity,
     fig1_cdf,
@@ -34,7 +35,7 @@ __all__ = ["CONTEXT_FREE", "EXPERIMENTS", "list_experiments", "run_experiment"]
 #: experiments that need no ReproContext (they build their own DES grids).
 #: abl-adopt left this set when it gained the surface-calibrated delayed
 #: fleet, which reads the analytic 2006-IX model from the context.
-CONTEXT_FREE = frozenset({"val-des", "multi-vo", "grid-weather"})
+CONTEXT_FREE = frozenset({"val-des", "multi-vo", "grid-weather", "broker-storm"})
 
 #: experiment id -> run callable (every table/figure + validations)
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -59,6 +60,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "abl-grid": resolution_study.run,
     "multi-vo": multi_vo.run,
     "grid-weather": grid_weather.run,
+    "broker-storm": broker_storm.run,
 }
 
 

@@ -39,13 +39,23 @@ Fleets of strategy-running users per VO are driven by the companion
 :mod:`repro.population` package.
 """
 
+from repro.gridsim.chaos import (
+    ChaosResult,
+    ConservationReport,
+    audit_conservation,
+    chaos_grid_config,
+    chaos_matrix,
+    fault_schedule,
+    run_chaos,
+    standard_schedules,
+)
 from repro.gridsim.events import PooledTimer, Simulator
 from repro.gridsim.fairshare import (
     FairShareComputingElement,
     FairShareState,
     FairShareVectorComputingElement,
 )
-from repro.gridsim.faults import FaultModel
+from repro.gridsim.faults import FaultModel, SubmitFaultConfig
 from repro.gridsim.federation import (
     BatchedFederatedBroker,
     BrokerConfig,
@@ -70,9 +80,15 @@ from repro.gridsim.health import (
 )
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.metrics import GridMonitor, GridSample
+from repro.gridsim.middleware import (
+    CircuitBreaker,
+    MiddlewareDomain,
+    RetryPolicy,
+)
 from repro.gridsim.outages import OutageProcess
 from repro.gridsim.weather import (
     BlackHoleConfig,
+    BrokerOutageConfig,
     OutageConfig,
     ResubmissionAgent,
     ResubmitConfig,
@@ -126,7 +142,20 @@ __all__ = [
     "StormConfig",
     "StormProcess",
     "BlackHoleConfig",
+    "BrokerOutageConfig",
     "WeatherConfig",
+    "SubmitFaultConfig",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "MiddlewareDomain",
+    "ChaosResult",
+    "ConservationReport",
+    "audit_conservation",
+    "chaos_grid_config",
+    "chaos_matrix",
+    "fault_schedule",
+    "run_chaos",
+    "standard_schedules",
     "ResubmitConfig",
     "ResubmissionAgent",
     "HealthConfig",

@@ -94,7 +94,8 @@ class TaskCore:
     """
 
     __slots__ = ("grid", "runtime", "vo", "via", "t_start", "jobs_used",
-                 "done", "active_jobs", "timers", "agent_retries")
+                 "done", "active_jobs", "timers", "agent_retries",
+                 "client_attempts", "retry_pending")
 
     #: tag stamped on every submitted copy
     tag = "task"
@@ -119,14 +120,23 @@ class TaskCore:
         #: system-side resubmissions consumed (the self-healing agent's
         #: per-task retry budget)
         self.agent_retries = 0
+        #: submit attempts made on this task's behalf by the middleware
+        #: retry policy (0 on grids without a middleware fault domain)
+        self.client_attempts = 0
+        #: client-side retries currently backing off / awaiting an ack —
+        #: while non-zero the ResubmissionAgent defers rescuing this task
+        self.retry_pending = 0
 
     def submit_copy(self) -> Job:
         """Submit one more copy of the task's payload."""
         job = Job(runtime=self.runtime, tag=self.tag, vo=self.vo)
         self.jobs_used += 1
         self.active_jobs.append(job)
-        self.grid.submit(job, on_start=self._on_start, via=self.via)
-        agent = self.grid._agent
+        grid = self.grid
+        if grid.task_ledger is not None:
+            grid.task_ledger.append((self, job))
+        grid.submit(job, on_start=self._on_start, via=self.via, task=self)
+        agent = grid._agent
         if agent is not None:
             # lost/stuck jobs register too — spotting exactly those is
             # the monitoring agent's purpose
@@ -141,8 +151,11 @@ class TaskCore:
         jobs = [Job(runtime=runtime, tag=tag, vo=vo) for _ in range(n)]
         self.jobs_used += n
         self.active_jobs.extend(jobs)
-        self.grid.submit_many(jobs, self._on_start, via=self.via)
-        agent = self.grid._agent
+        grid = self.grid
+        if grid.task_ledger is not None:
+            grid.task_ledger.extend((self, job) for job in jobs)
+        grid.submit_many(jobs, self._on_start, via=self.via, task=self)
+        agent = grid._agent
         if agent is not None:
             for job in jobs:
                 agent.watch(self, job)
@@ -175,6 +188,9 @@ class TaskCore:
         for ev in self.timers:
             ev.cancel()
         self.timers = []
+        # cancelled middleware retry/ack timers never fire to decrement
+        # their counter — a settled task has nothing pending by definition
+        self.retry_pending = 0
         active = self.active_jobs
         self.active_jobs = []
         if len(active) == 1 and active[0] is winner:

@@ -13,6 +13,13 @@ points where they bite:
 
 Both channels leave the job unstarted, which is exactly how the paper's
 ρ is defined (never started before the probe timeout).
+
+:class:`SubmitFaultConfig` adds the *submission-path* channel of the
+middleware fault domain: the UI→WMS call itself errors with probability
+``p_fail``, and — the at-least-once twist — a failed call may still have
+landed (``p_landed``: the ack was lost, not the job).  A resilient
+client that retries such a call mints a duplicate that runs, burns cost,
+and must be reconciled by sibling-cancel.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ import numpy as np
 
 from repro.util.validation import check_probability
 
-__all__ = ["FaultModel"]
+__all__ = ["FaultModel", "SubmitFaultConfig"]
 
 
 @dataclass(frozen=True)
@@ -67,3 +74,28 @@ class FaultModel:
     def draw_stuck(self, rng: np.random.Generator) -> bool:
         """Sample the stuck-at-site channel."""
         return bool(rng.random() < self.p_stuck)
+
+
+@dataclass(frozen=True)
+class SubmitFaultConfig:
+    """At-least-once fault channel on the UI→WMS submission call.
+
+    Attributes
+    ----------
+    p_fail:
+        Probability a submit attempt returns an error to the client
+        (independent per attempt, drawn from the grid's dedicated chaos
+        stream).
+    p_landed:
+        Conditional probability that a *failed* attempt actually landed
+        at the broker — the error ate the acknowledgement, not the job.
+        The landed copy runs as a duplicate the instant the client
+        retries; ``0`` makes every failure a clean failure.
+    """
+
+    p_fail: float = 0.0
+    p_landed: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_probability("p_fail", self.p_fail)
+        check_probability("p_landed", self.p_landed)

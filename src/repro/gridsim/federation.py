@@ -154,6 +154,18 @@ class _FederatedInfoMixin:
             self._remote_time = now
         return self._snapshot
 
+    def end_outage(self) -> None:
+        """Recover with a cold *federated* view as well.
+
+        The base recovery keeps the owned-site snapshot stale for one
+        refresh window; a federated broker additionally restarts its
+        remote clock, so the lagged view stays pre-outage for up to
+        ``info_refresh + info_lag`` — rejoining brokers are the stalest
+        rankers on the grid, which is what failover clients route into.
+        """
+        super().end_outage()
+        self._remote_time = self.sim.now
+
     def owned_sites(self) -> list[str]:
         """Names of the sites this broker owns."""
         return [self.sites[i].name for i in self._owned_idx]

@@ -14,6 +14,7 @@ import os
 import pickle
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable
 
 import numpy as np
@@ -25,7 +26,7 @@ from repro.gridsim.fairshare import (
     FairShareVectorComputingElement,
     normalize_vo_shares,
 )
-from repro.gridsim.faults import FaultModel
+from repro.gridsim.faults import FaultModel, SubmitFaultConfig
 from repro.gridsim.federation import (
     BatchedFederatedBroker,
     BrokerConfig,
@@ -33,6 +34,7 @@ from repro.gridsim.federation import (
 )
 from repro.gridsim.health import HealthConfig, HealthService
 from repro.gridsim.jobs import Job, JobState
+from repro.gridsim.middleware import MiddlewareDomain, RetryPolicy
 from repro.gridsim.outages import OutageProcess
 from repro.gridsim.site import ComputingElement, VectorComputingElement
 from repro.gridsim.weather import (
@@ -181,6 +183,24 @@ class GridConfig:
         (:class:`~repro.gridsim.weather.ResubmitConfig`) that resubmits
         failed-and-missing tasks under a retry budget.  ``None`` leaves
         recovery entirely to user-side strategies.
+    submit_faults:
+        At-least-once submission-path fault channel
+        (:class:`~repro.gridsim.faults.SubmitFaultConfig`): submit
+        attempts error with ``p_fail``, and a failed attempt may still
+        have *landed* (``p_landed``), minting a duplicate the instant
+        the client retries.  ``None`` keeps the path reliable.
+    retry:
+        Client-side resilience
+        (:class:`~repro.gridsim.middleware.RetryPolicy`): capped
+        exponential backoff with seeded jitter, per-attempt submit
+        timeouts and per-broker circuit breakers driving failover
+        across :attr:`GridSimulator.brokers`.  ``None`` means one
+        attempt per copy, exactly today's clients.
+
+    Configuring any of ``retry``, ``submit_faults``, scheduled
+    ``weather.broker_outages`` or a storm ``broker_prob`` activates the
+    grid's :class:`~repro.gridsim.middleware.MiddlewareDomain`;
+    otherwise submissions take the historical path byte-for-byte.
     """
 
     sites: tuple[SiteConfig, ...]
@@ -197,6 +217,8 @@ class GridConfig:
     weather: WeatherConfig | None = None
     health: HealthConfig | None = None
     resubmit: ResubmitConfig | None = None
+    submit_faults: SubmitFaultConfig | None = None
+    retry: RetryPolicy | None = None
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -276,6 +298,23 @@ class GridConfig:
                         f"black-hole site {bh.site!r} is not a configured "
                         f"site; available: {', '.join(sorted(site_names))}"
                     )
+            broker_names = {b.name for b in self.brokers}
+            for bo in self.weather.broker_outages:
+                if bo.broker not in broker_names:
+                    available = (
+                        f"available: {', '.join(sorted(broker_names))}"
+                        if broker_names
+                        else "this grid configures no federated brokers"
+                    )
+                    raise ValueError(
+                        f"broker_outages names unknown broker "
+                        f"{bo.broker!r}; {available}"
+                    )
+            if storm is not None and storm.broker_prob > 0.0 and not self.brokers:
+                raise ValueError(
+                    f"storm broker_prob={storm.broker_prob!r} needs "
+                    "federated brokers (GridConfig.brokers is empty)"
+                )
         if self.health is not None and not isinstance(self.health, HealthConfig):
             raise TypeError(
                 f"health must be a HealthConfig, got {type(self.health).__name__}"
@@ -286,6 +325,17 @@ class GridConfig:
             raise TypeError(
                 "resubmit must be a ResubmitConfig, "
                 f"got {type(self.resubmit).__name__}"
+            )
+        if self.submit_faults is not None and not isinstance(
+            self.submit_faults, SubmitFaultConfig
+        ):
+            raise TypeError(
+                "submit_faults must be a SubmitFaultConfig, "
+                f"got {type(self.submit_faults).__name__}"
+            )
+        if self.retry is not None and not isinstance(self.retry, RetryPolicy):
+            raise TypeError(
+                f"retry must be a RetryPolicy, got {type(self.retry).__name__}"
             )
 
 
@@ -387,9 +437,10 @@ class GridSimulator:
         self.config = config
         self.sim = Simulator()
         # extra broker streams are appended *after* the historical
-        # 2 + n_sites children, and weather streams after those, so
-        # degenerate (broker-free, calm-weather) configs keep every RNG
-        # stream byte-identical to the original layout
+        # 2 + n_sites children, weather streams after those, and the
+        # middleware chaos/jitter streams last, so degenerate
+        # (broker-free, calm, fault-free) configs keep every RNG stream
+        # byte-identical to the original layout
         n_extra_brokers = max(0, len(config.brokers) - 1)
         n_weather = 0
         if config.weather is not None:
@@ -397,8 +448,10 @@ class GridSimulator:
                 n_weather += len(config.sites)
             if config.weather.storm is not None:
                 n_weather += 1
+        n_mw = (config.submit_faults is not None) + (config.retry is not None)
         rngs = spawn_rngs(
-            as_rng(seed), 2 + len(config.sites) + n_extra_brokers + n_weather
+            as_rng(seed),
+            2 + len(config.sites) + n_extra_brokers + n_weather + n_mw,
         )
         self._fault_rng = rngs[0]
         diurnal = (
@@ -498,7 +551,11 @@ class GridSimulator:
                 w_rngs = w_rngs[len(self.sites) :]
             if config.weather.storm is not None:
                 self.storm = StormProcess(
-                    self.sites, self.sim, w_rngs[0], config.weather.storm
+                    self.sites,
+                    self.sim,
+                    w_rngs[0],
+                    config.weather.storm,
+                    brokers=self.brokers if config.brokers else None,
                 )
                 self.storm.start()
             for bh in config.weather.black_holes:
@@ -507,6 +564,15 @@ class GridSimulator:
                 if math.isfinite(bh.duration):
                     self.sim.schedule_at(
                         bh.start + bh.duration, site.end_black_hole
+                    )
+            for bo in config.weather.broker_outages:
+                broker = self._broker_by_name[bo.broker]
+                self.sim.schedule_at(
+                    bo.start, partial(broker.begin_outage, bo.mode)
+                )
+                if math.isfinite(bo.duration):
+                    self.sim.schedule_at(
+                        bo.start + bo.duration, broker.end_outage
                     )
         self._health: HealthService | None = None
         if config.health is not None:
@@ -519,6 +585,43 @@ class GridSimulator:
         if config.resubmit is not None:
             self._agent = ResubmissionAgent(self.sim, config.resubmit)
             self._agent.start()
+        # -- middleware fault domain (optional) --------------------------
+        self._mw: MiddlewareDomain | None = None
+        mw_needed = (
+            config.retry is not None
+            or config.submit_faults is not None
+            or (
+                config.weather is not None
+                and (
+                    config.weather.broker_outages
+                    or (
+                        config.weather.storm is not None
+                        and config.weather.storm.broker_prob > 0.0
+                    )
+                )
+            )
+        )
+        if mw_needed:
+            mw_rngs = rngs[
+                2 + len(config.sites) + n_extra_brokers + n_weather :
+            ]
+            k = 0
+            chaos_rng = jitter_rng = None
+            if config.submit_faults is not None:
+                chaos_rng = mw_rngs[k]
+                k += 1
+            if config.retry is not None:
+                jitter_rng = mw_rngs[k]
+            self._mw = MiddlewareDomain(
+                self,
+                retry=config.retry,
+                faults=config.submit_faults,
+                chaos_rng=chaos_rng,
+                jitter_rng=jitter_rng,
+            )
+        #: optional (task, job) audit trail for the chaos harness's
+        #: conservation auditor — None (off, zero cost) unless enabled
+        self.task_ledger: list | None = None
         #: block-drawn fault uniforms (one per Bernoulli draw, consumed
         #: in the same order the scalar channel draws were)
         self._fault_uniforms: deque[float] = deque()
@@ -526,6 +629,8 @@ class GridSimulator:
         self.jobs_submitted = 0
         self.jobs_lost = 0
         self.jobs_stuck = 0
+        #: at-least-once duplicates cleaned up by sibling-cancel
+        self.duplicates_reconciled = 0
 
     # -- time ---------------------------------------------------------------
 
@@ -551,6 +656,7 @@ class GridSimulator:
         on_start: Callable[[Job], None] | None = None,
         *,
         via: int | str | None = None,
+        task=None,
     ) -> Job:
         """Submit a job through the fault-prone middleware path.
 
@@ -565,7 +671,15 @@ class GridSimulator:
             :attr:`brokers`, a broker name, or ``None`` for the default
             policy (round-robin across brokers; the single WMS when the
             grid has no federation).
+        task:
+            The owning :class:`~repro.gridsim.client.TaskCore`, giving
+            the middleware fault domain a retry context (backoff timers,
+            attempt counters, duplicate registration).  Ignored — and
+            free — on grids without a middleware fault domain; without a
+            task, a failed submit attempt is simply LOST (no retries).
         """
+        if self._mw is not None:
+            return self._mw.submit(job, on_start, via, task)
         job.submit_time = self.sim.now
         self.jobs_submitted += 1
         # the fault uniforms are consumed inline, with the same refill
@@ -605,6 +719,7 @@ class GridSimulator:
         on_start: Callable[[Job], None] | None = None,
         *,
         via: int | str | None = None,
+        task=None,
     ) -> list[Job]:
         """Submit a batch of sibling copies in one call.
 
@@ -614,7 +729,18 @@ class GridSimulator:
         ``WorkloadManager.submit_many`` call — the lane burst strategies
         use so a ``b``-copy round costs one pass through the middleware
         instead of ``b``.
+
+        With a middleware fault domain each copy takes its own resilient
+        attempt (per-copy fault draws, retries and failover), so a burst
+        under ``via=None`` round-robins per copy instead of pinning the
+        whole burst to one broker — resilient clients spread their
+        copies.
         """
+        if self._mw is not None:
+            mw = self._mw
+            for job in jobs:
+                mw.submit(job, on_start, via, task)
+            return jobs
         now = self.sim.now
         uniforms = self._fault_uniforms
         faults = self.config.faults
@@ -663,13 +789,59 @@ class GridSimulator:
             )
         return brokers[via]
 
+    def _submit_plain(self, job: Job, on_start, broker) -> None:
+        """The accept tail shared with the middleware fault domain.
+
+        Same fault-uniform consumption as :meth:`submit` /
+        :meth:`submit_many` (they stay inlined for the calm-grid hot
+        path) — a middleware-domain attempt that reaches the broker
+        draws exactly the channels a plain submission would.
+        """
+        uniforms = self._fault_uniforms
+        if len(uniforms) < 2:
+            uniforms.extend(self._fault_rng.random(256).tolist())
+        faults = self.config.faults
+        if uniforms.popleft() < faults.p_lost:
+            job.state = JobState.LOST
+            self.jobs_lost += 1
+            return
+        if uniforms.popleft() < faults.p_stuck:
+            job.state = JobState.STUCK
+            self.jobs_stuck += 1
+            return
+        if on_start is not None:
+            job.on_start = on_start
+        broker.submit(job)
+
+    def enable_task_ledger(self) -> list:
+        """Start recording every client ``(task, job)`` pair.
+
+        The chaos harness's conservation auditor
+        (:func:`~repro.gridsim.chaos.audit_conservation`) replays this
+        ledger after a run to prove every task is accounted for exactly
+        once.  Off by default (``task_ledger is None``) — a long
+        population run would otherwise pin every job ever minted.
+        """
+        if self.task_ledger is None:
+            self.task_ledger = []
+        return self.task_ledger
+
     def cancel(self, job: Job) -> None:
-        """Cancel a job wherever it is (matching, queued, running, stuck)."""
+        """Cancel a job wherever it is (matching, queued, running, stuck).
+
+        CREATED jobs cancel too: under a retry policy a copy sits in
+        that state between failed submit attempts, and the sibling
+        cancel that settles its task must kill the pending retry saga.
+        """
         job.on_start = None
+        if job.duplicate:
+            # an at-least-once ghost reconciled by sibling-cancel
+            job.duplicate = False
+            self.duplicates_reconciled += 1
         if job.state is JobState.MATCHING:
             self.wms.cancel_matching(job)
             return
-        if job.state in (JobState.STUCK, JobState.LOST):
+        if job.state in (JobState.STUCK, JobState.LOST, JobState.CREATED):
             job.state = JobState.CANCELLED
             return
         if job.state in (JobState.QUEUED, JobState.RUNNING):
@@ -690,10 +862,13 @@ class GridSimulator:
         by_site: dict[str, list[Job]] = {}
         for job in jobs:
             job.on_start = None
+            if job.duplicate:
+                job.duplicate = False
+                self.duplicates_reconciled += 1
             state = job.state
             if state is JobState.MATCHING:
                 job.state = JobState.CANCELLED
-            elif state in (JobState.STUCK, JobState.LOST):
+            elif state in (JobState.STUCK, JobState.LOST, JobState.CREATED):
                 job.state = JobState.CANCELLED
             elif state in (JobState.QUEUED, JobState.RUNNING):
                 by_site.setdefault(job.site, []).append(job)
@@ -794,6 +969,12 @@ class GridSimulator:
         if self.storm is not None:
             report["storms_started"] = self.storm.storms_started
             report["outages_started"] += self.storm.outages_started
+        if self._mw is not None:
+            report["brokers"] = self._mw.report()
+            report["duplicates"] = {
+                "created": self._mw.duplicates,
+                "reconciled": self.duplicates_reconciled,
+            }
         if self._health is not None:
             report["health"] = self._health.report()
         if self._agent is not None:

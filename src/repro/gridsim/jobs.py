@@ -80,6 +80,10 @@ class Job:
     site: str = ""
     tag: str = ""
     vo: str = ""
+    #: at-least-once ghost: a copy that *landed* although the client saw
+    #: its submission fail (lost ack).  Cleared when the client's
+    #: sibling-cancel reconciles it (counted by the grid)
+    duplicate: bool = field(default=False, repr=False, compare=False)
     #: completion Event while RUNNING (owned by the executing site)
     completion_event: object | None = field(default=None, repr=False, compare=False)
     #: client start watcher (set by GridSimulator.submit, cleared on

@@ -43,6 +43,13 @@ class GridSample:
     outages_started:
         Cumulative site-down events at sample time (per-site renewal
         outages plus storm hits); 0 on calm grids.
+    broker_submits, broker_rejects, failovers, breaker_trips,
+    duplicates_reconciled:
+        Cumulative middleware fault-domain counters (submit attempts
+        through the resilient path, client-visible submit errors,
+        breaker-driven broker failovers, breaker trips, at-least-once
+        duplicates cleaned up by sibling-cancel); all 0 on grids without
+        a middleware fault domain.
     """
 
     time: float
@@ -52,6 +59,11 @@ class GridSample:
     jobs_submitted: int
     jobs_completed: int = 0
     outages_started: int = 0
+    broker_submits: int = 0
+    broker_rejects: int = 0
+    failovers: int = 0
+    breaker_trips: int = 0
+    duplicates_reconciled: int = 0
 
 
 @dataclass
@@ -92,6 +104,16 @@ class GridMonitor:
         outages = sum(p.outages_started for p in grid.outage_processes)
         if grid.storm is not None:
             outages += grid.storm.outages_started
+        mw_kwargs = {}
+        if grid._mw is not None:
+            totals = grid._mw.totals()
+            mw_kwargs = dict(
+                broker_submits=totals["submits"],
+                broker_rejects=totals["rejects"],
+                failovers=totals["failovers"],
+                breaker_trips=totals["breaker_trips"],
+                duplicates_reconciled=grid.duplicates_reconciled,
+            )
         self.samples.append(
             GridSample(
                 time=grid.now,
@@ -101,6 +123,7 @@ class GridMonitor:
                 jobs_submitted=grid.jobs_submitted,
                 jobs_completed=sum(s.jobs_completed for s in grid.sites),
                 outages_started=outages,
+                **mw_kwargs,
             )
         )
         self.grid.sim.schedule(self.period, self._tick)

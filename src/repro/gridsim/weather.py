@@ -48,11 +48,15 @@ __all__ = [
     "OutageConfig",
     "StormConfig",
     "BlackHoleConfig",
+    "BrokerOutageConfig",
     "WeatherConfig",
     "StormProcess",
     "ResubmitConfig",
     "ResubmissionAgent",
 ]
+
+#: how a downed broker treats submissions (see ``WorkloadManager.begin_outage``)
+_BROKER_MODES = ("reject", "black-hole")
 
 
 @dataclass(frozen=True)
@@ -89,12 +93,25 @@ class StormConfig:
     subset_size: int = 2
     #: probability each running job on a hit site is killed
     kill_running: float = 0.0
+    #: probability the storm also downs one random federated broker for
+    #: its duration (middleware and site share the failure cause — a
+    #: network segment, a machine room).  0 consumes no extra draws, so
+    #: site-only storm configs keep their RNG streams byte-identical.
+    broker_prob: float = 0.0
+    #: outage mode of a storm-hit broker
+    broker_mode: str = "reject"
 
     def __post_init__(self) -> None:
         check_positive("mean_interval", self.mean_interval)
         check_positive("mean_duration", self.mean_duration)
         check_int_at_least("subset_size", self.subset_size, 1)
         check_probability("kill_running", self.kill_running)
+        check_probability("broker_prob", self.broker_prob)
+        if self.broker_mode not in _BROKER_MODES:
+            raise ValueError(
+                f"unknown broker_mode {self.broker_mode!r}; "
+                f"available: {', '.join(_BROKER_MODES)}"
+            )
 
 
 @dataclass(frozen=True)
@@ -126,8 +143,44 @@ class BlackHoleConfig:
 
 
 @dataclass(frozen=True)
+class BrokerOutageConfig:
+    """A scheduled outage window at one named federated broker.
+
+    Deterministic like :class:`BlackHoleConfig` — what the experiments
+    measure is how clients and failover react, so the outage itself
+    consumes no randomness and stays bit-identical across engines.
+    """
+
+    #: name of the broker that goes down
+    broker: str
+    #: instant the broker goes down (virtual seconds)
+    start: float = 0.0
+    #: how long it stays down; ``inf`` = never recovers
+    duration: float = 3_600.0
+    #: ``"reject"`` fails submissions synchronously, ``"black-hole"``
+    #: swallows them (the client learns only from its submit timeout)
+    mode: str = "reject"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.broker, str) or not self.broker:
+            raise ValueError(
+                f"broker must be a non-empty broker name, got {self.broker!r}"
+            )
+        check_nonnegative("start", self.start)
+        if not self.duration > 0.0:  # inf allowed
+            raise ValueError(
+                f"duration must be > 0, got {self.duration!r}"
+            )
+        if self.mode not in _BROKER_MODES:
+            raise ValueError(
+                f"unknown mode {self.mode!r}; "
+                f"available: {', '.join(_BROKER_MODES)}"
+            )
+
+
+@dataclass(frozen=True)
 class WeatherConfig:
-    """The grid's weather regime: any mix of the three processes."""
+    """The grid's weather regime: any mix of the four processes."""
 
     #: independent per-site renewal outages (None = calm)
     site_outages: OutageConfig | None = None
@@ -135,6 +188,8 @@ class WeatherConfig:
     storm: StormConfig | None = None
     #: scheduled black-hole windows
     black_holes: tuple[BlackHoleConfig, ...] = ()
+    #: scheduled broker outage windows (middleware fault domain)
+    broker_outages: tuple[BrokerOutageConfig, ...] = ()
 
     def __post_init__(self) -> None:
         if self.site_outages is not None and not isinstance(
@@ -154,6 +209,13 @@ class WeatherConfig:
                 raise TypeError(
                     "black_holes entries must be BlackHoleConfig, "
                     f"got {type(bh).__name__}"
+                )
+        object.__setattr__(self, "broker_outages", tuple(self.broker_outages))
+        for bo in self.broker_outages:
+            if not isinstance(bo, BrokerOutageConfig):
+                raise TypeError(
+                    "broker_outages entries must be BrokerOutageConfig, "
+                    f"got {type(bo).__name__}"
                 )
 
 
@@ -175,19 +237,27 @@ class StormProcess:
         sim: "Simulator",
         rng: np.random.Generator,
         config: StormConfig,
+        brokers: list | None = None,
     ) -> None:
         if config.subset_size > len(sites):
             raise ValueError(
                 f"storm subset_size={config.subset_size} exceeds the "
                 f"{len(sites)} configured site(s)"
             )
+        if config.broker_prob > 0.0 and not brokers:
+            raise ValueError(
+                "storm broker_prob > 0 needs federated brokers to hit"
+            )
         self.sites = sites
         self.sim = sim
         self.rng = rng
         self.config = config
+        self.brokers = brokers or []
         self.storms_started = 0
         #: individual site-down events across all storms
         self.outages_started = 0
+        #: broker-down events across all storms
+        self.broker_outages_started = 0
 
     def start(self) -> None:
         """Schedule the first storm."""
@@ -211,6 +281,15 @@ class StormProcess:
             hit.append(site)
         if hit:
             self.sim.schedule(duration, partial(self._recover, hit))
+        # the broker draws come strictly *after* the site draws, so
+        # site-only storms (broker_prob == 0) consume exactly the
+        # historical stream — and skip the branch entirely
+        if cfg.broker_prob > 0.0 and self.rng.random() < cfg.broker_prob:
+            broker = self.brokers[int(self.rng.integers(len(self.brokers)))]
+            if broker.accepting:  # already-down brokers ride it out
+                broker.begin_outage(cfg.broker_mode)
+                self.broker_outages_started += 1
+                self.sim.schedule(duration, partial(self._recover_broker, broker))
         # the next storm clock runs from the storm *start* (Poisson
         # arrivals are oblivious to how long the damage lasts)
         self.sim.schedule(self.rng.exponential(cfg.mean_interval), self._storm)
@@ -219,6 +298,10 @@ class StormProcess:
         for site in hit:
             if not site.dispatch_enabled:
                 site.end_outage()
+
+    def _recover_broker(self, broker) -> None:
+        if not broker.accepting:
+            broker.end_outage()
 
 
 @dataclass(frozen=True)
@@ -285,6 +368,14 @@ class ResubmissionAgent:
             if task.done:
                 continue  # the task made it; stop watching all its jobs
             if job.state in _DEAD:
+                if getattr(task, "retry_pending", 0):
+                    # the client's own retry policy is mid-flight on this
+                    # task: rescuing now would double-submit.  Keep
+                    # watching — if the client gives up, a later sweep
+                    # still finds the dead job.  (getattr: duck-typed
+                    # tasks without the middleware counters never defer)
+                    live.append((task, job))
+                    continue
                 self.detected += 1
                 if task.agent_retries < cfg.max_retries:
                     delay = cfg.backoff_base * (

@@ -65,6 +65,16 @@ class WorkloadManager:
     #: every site banned — fall back to unpenalised ranking rather than
     #: dispatch nothing (the grid has nowhere better to send work)
     _all_masked = False
+    #: broker availability (middleware fault domain).  Class attributes —
+    #: like the health flags above — so calm grids pay nothing: they
+    #: become instance attributes only once an outage actually begins.
+    accepting = True
+    #: how a downed broker treats submissions: ``"reject"`` fails them
+    #: synchronously, ``"black-hole"`` swallows them (the client learns
+    #: only from its own submit timeout)
+    outage_mode = "reject"
+    #: broker-down windows begun (telemetry)
+    outages_started = 0
 
     def __init__(
         self,
@@ -147,6 +157,35 @@ class WorkloadManager:
             self._measure_loads()
             self._snapshot_time = self.sim.now
         return self._snapshot
+
+    # -- broker outages (middleware fault domain) ----------------------------
+
+    def begin_outage(self, mode: str = "reject") -> None:
+        """Take the broker down: stop admitting new submissions.
+
+        Work already matched or pooled keeps flowing — a crashed broker's
+        previously dispatched jobs are at their sites, not inside it.
+        """
+        if mode not in ("reject", "black-hole"):
+            raise ValueError(
+                f"unknown broker outage mode {mode!r}; "
+                "available: reject, black-hole"
+            )
+        self.accepting = False
+        self.outage_mode = mode
+        self.outages_started += 1
+
+    def end_outage(self) -> None:
+        """Recover the broker — with a cold information system.
+
+        A restarted broker has no fresh load reports yet: it keeps
+        serving its pre-outage snapshot for one full refresh window
+        (increasingly stale the longer the outage lasted), exactly like
+        a production WMS rejoining the information system mid-cadence.
+        Deterministic on purpose: recovery consumes no randomness.
+        """
+        self.accepting = True
+        self._snapshot_time = self.sim.now
 
     # -- submission path -----------------------------------------------------
 

@@ -81,7 +81,11 @@ class PopulationResult:
     weather:
         Grid weather/health/self-healing telemetry at the end of the run
         (:meth:`~repro.gridsim.grid.GridSimulator.weather_report` —
-        cumulative grid-lifetime counters, all zero on calm grids).
+        cumulative grid-lifetime counters, all zero on calm grids).  On
+        grids with a middleware fault domain this includes the
+        ``"brokers"`` section (per-broker submits/rejects/failovers,
+        outage and breaker counters) and the ``"duplicates"``
+        created/reconciled ledger.
     """
 
     fleets: tuple[FleetOutcome, ...]

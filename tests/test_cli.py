@@ -138,6 +138,28 @@ class TestWeather:
         assert code == 2 and "t_inf" in text
 
 
+class TestChaos:
+    def test_standard_schedules_pass_the_audit(self):
+        code, text = run_cli("chaos", "--tasks", "10", "--horizon", "21600")
+        assert code == 0
+        assert "task-conservation audit" in text
+        for schedule in ("outage-mid-bucket", "dup-on-retry", "storm-broker-site"):
+            assert schedule in text
+        assert "VIOLATED" not in text
+        assert "every task accounted for exactly once" in text
+
+    def test_generated_schedules_ride_along(self):
+        code, text = run_cli(
+            "chaos", "--tasks", "8", "--horizon", "21600", "--schedules", "2"
+        )
+        assert code == 0
+        assert "generated#1" in text and "generated#2" in text
+
+    def test_bad_arguments(self):
+        code, text = run_cli("chaos", "--tasks", "0")
+        assert code == 2 and "n_tasks" in text
+
+
 class TestBench:
     def test_bench_invokes_harness_with_passthrough_flags(self):
         from repro.cli import _cmd_bench, build_parser

@@ -617,3 +617,92 @@ class TestBanPropagationStaleness:
         placed = {j.site for j in jobs if j.site}
         assert "b" not in placed
         assert placed  # the healthy sites absorbed the traffic
+
+
+class TestAgentWithClientRetries:
+    """The agent and the middleware retry policy must not double-rescue."""
+
+    def test_agent_defers_while_a_client_retry_is_pending(self):
+        # a dead copy whose task still has a client-side retry backing
+        # off: the sweep must neither count nor rescue it — the retry
+        # policy already resubmitted on the user's behalf
+        sim = Simulator()
+        agent = ResubmissionAgent(
+            sim, ResubmitConfig(period=100.0, backoff_base=10.0)
+        )
+
+        class RetryingTask:
+            done = False
+            agent_retries = 0
+            retry_pending = 1
+
+            def submit_copy(self):
+                raise AssertionError(
+                    "the agent must defer to the pending client retry"
+                )
+
+        task = RetryingTask()
+        dead = Job(runtime=1.0)
+        dead.state = JobState.LOST
+        agent.watch(task, dead)
+        agent.start()
+        sim.run_until(1_000.0)
+        assert agent.detected == 0 and agent.resubmissions == 0
+        assert task.agent_retries == 0
+        # the client gives up: the very next sweep takes over
+        task.retry_pending = 0
+        rescued = []
+        task.submit_copy = lambda: rescued.append(1)
+        sim.run_until(2_000.0)
+        assert agent.detected == 1 and agent.resubmissions == 1
+        assert task.agent_retries == 1 and rescued == [1]
+
+    @pytest.mark.parametrize("wms_engine", ["batched", "event"])
+    def test_agent_composes_with_retry_and_failover(self, wms_engine):
+        from repro.gridsim import (
+            RetryPolicy,
+            SubmitFaultConfig,
+            audit_conservation,
+        )
+        from repro.gridsim.client import launch_task
+
+        cfg = config(
+            util=0.3,
+            wms_engine=wms_engine,
+            faults=FaultModel(p_lost=0.15, p_stuck=0.0),
+            brokers=(
+                BrokerConfig(name="wms-a", sites=("a", "b")),
+                BrokerConfig(name="wms-b", sites=("c",)),
+            ),
+            submit_faults=SubmitFaultConfig(p_fail=0.4, p_landed=0.5),
+            retry=RetryPolicy(max_attempts=3, backoff_base=60.0),
+            resubmit=ResubmitConfig(period=120.0, backoff_base=30.0),
+        )
+        grid = GridSimulator(cfg, seed=17)
+        grid.warm_up(1_800.0)
+        grid.enable_task_ledger()
+        results: list = []
+        tasks = [
+            launch_task(
+                grid, SingleResubmission(t_inf=30_000.0), 120.0, results
+            )
+            for _ in range(15)
+        ]
+        grid.run_until(grid.now + 8 * 3_600.0)
+        for t in tasks:
+            t.expire()
+        # both rescue channels fired, and every copy — client-submitted,
+        # middleware-retried or agent-rescued — is still accounted for
+        # exactly once
+        assert grid.weather_report()["resubmit"]["resubmissions"] > 0
+        assert grid._mw.totals()["submits"] > len(tasks)
+        audit_conservation(grid).verify()
+        # the two rescue channels keep disjoint books: the agent's per-task
+        # budget holds, and every grid submission traces back to a client
+        # attempt (a minted-but-settled duplicate sibling consumes a ledger
+        # slot without an attempt, so jobs_used may exceed the attempts)
+        assert sum(t.client_attempts for t in tasks) == grid.jobs_submitted
+        for t in tasks:
+            assert t.agent_retries <= 3
+            assert t.client_attempts >= 1
+            assert not t.retry_pending  # settled tasks left nothing armed
