@@ -12,11 +12,19 @@ metadata to interpret them.  Typical usage::
     python benchmarks/run_benchmarks.py --update   # run + rewrite the baseline
     python benchmarks/run_benchmarks.py --suite benchmarks  # every bench file
     python benchmarks/run_benchmarks.py --filter probe_day  # single bench
+    python benchmarks/run_benchmarks.py --filter population_20k --profile
 
 A comparison fails (exit 1) when any benchmark's mean regresses by more
 than ``--threshold`` (default 1.5×) against the committed baseline, so CI
 or a pre-merge run makes perf regressions visible.  See PERFORMANCE.md
 for what each benchmark covers and the current headline numbers.
+
+``--profile`` runs each selected bench body once under :mod:`cProfile`
+(pytest-benchmark itself disabled — its pause/resume instrumentation
+cannot nest under an outer profiler) and prints the top
+cumulative/tottime rows instead of comparing against the baseline, so
+a profiled run never counts as a regression and ``--update`` is
+refused.
 """
 
 from __future__ import annotations
@@ -44,9 +52,19 @@ CORE_SUITES = [
 
 
 def run_pytest_benchmarks(
-    suites: list[Path], *, large: bool = False, keyword: str | None = None
+    suites: list[Path],
+    *,
+    large: bool = False,
+    keyword: str | None = None,
+    profile_path: Path | None = None,
 ) -> dict:
-    """Run pytest-benchmark on ``suites`` and return the raw JSON report."""
+    """Run pytest-benchmark on ``suites`` and return the raw JSON report.
+
+    With ``profile_path`` the whole pytest process runs under
+    :mod:`cProfile` and dumps its stats there; benchmarking itself is
+    disabled (each bench body runs exactly once) and ``{}`` is
+    returned — profiled timings would be meaningless anyway.
+    """
     with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
         report_path = Path(tmp.name)
     env = dict(os.environ)
@@ -56,23 +74,42 @@ def run_pytest_benchmarks(
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
     )
-    cmd = [
-        sys.executable,
-        "-m",
-        "pytest",
-        *(str(s) for s in suites),
-        "-q",
-        f"--benchmark-json={report_path}",
-    ]
+    cmd = [sys.executable]
+    if profile_path is not None:
+        cmd += ["-m", "cProfile", "-o", str(profile_path)]
+    cmd += ["-m", "pytest", *(str(s) for s in suites), "-q"]
+    if profile_path is not None:
+        # pytest-benchmark's run instrumentation fights an outer
+        # cProfile (its pause/resume tries to reinstall the active
+        # profiler as a plain profile function); disabled, each bench
+        # body runs exactly once — also the cleanest trace to read
+        cmd += ["--benchmark-disable"]
+    else:
+        cmd += [f"--benchmark-json={report_path}"]
     if keyword:
         cmd += ["-k", keyword]
     try:
         proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
         if proc.returncode != 0:
             raise SystemExit(f"benchmark run failed (pytest exit {proc.returncode})")
+        if profile_path is not None:
+            return {}
         return json.loads(report_path.read_text(encoding="utf-8"))
     finally:
         report_path.unlink(missing_ok=True)
+
+
+def render_profile(profile_path: Path, rows: int) -> str:
+    """The top-``rows`` cumulative-time table of a profile dump."""
+    import io
+    import pstats
+
+    buf = io.StringIO()
+    stats = pstats.Stats(str(profile_path), stream=buf)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(rows)
+    buf.write("\n")
+    stats.sort_stats("tottime").print_stats(rows)
+    return buf.getvalue()
 
 
 def distill(report: dict) -> dict:
@@ -191,6 +228,22 @@ def main(argv: list[str] | None = None) -> int:
             "clobber the committed baseline"
         ),
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the selected benches under cProfile and print the top "
+            "cumulative/tottime rows instead of comparing against the "
+            "baseline (incompatible with --update)"
+        ),
+    )
+    parser.add_argument(
+        "--profile-rows",
+        type=int,
+        default=25,
+        metavar="N",
+        help="rows to print per profile table (default: 25)",
+    )
     args = parser.parse_args(argv)
 
     if args.update and args.filter:
@@ -198,6 +251,29 @@ def main(argv: list[str] | None = None) -> int:
             "--update with --filter would rewrite the baseline from a "
             "partial run; drop one of the two"
         )
+    if args.update and args.profile:
+        raise SystemExit(
+            "--update with --profile would bake profiler overhead into "
+            "the baseline; drop one of the two"
+        )
+
+    if args.profile:
+        with tempfile.NamedTemporaryFile(suffix=".prof", delete=False) as tmp:
+            profile_path = Path(tmp.name)
+        try:
+            run_pytest_benchmarks(
+                [Path(s) for s in args.suite],
+                large=args.large,
+                keyword=args.filter,
+                profile_path=profile_path,
+            )
+            table = render_profile(profile_path, args.profile_rows)
+        finally:
+            profile_path.unlink(missing_ok=True)
+        print(table)
+        if args.report is not None:
+            args.report.write_text(table, encoding="utf-8")
+        return 0
 
     results = distill(
         run_pytest_benchmarks(

@@ -5,6 +5,12 @@ mixed user population (fair-share sites, two federated brokers, diurnal
 launches) at a moderate 2·10³ tasks, so regressions in the fair-share
 commit loop or the wake predictor show up in ``BENCH_core.json``.
 
+``test_bench_population_20k`` is the always-on population-scale guard:
+2·10⁴ tasks on the same 16-site / 4096-core fair-share grid the 100k
+day uses, small enough to keep the core baseline fast but large enough
+that the block-resolved fair-share commit loop dominates — regressions
+there move this number first.
+
 ``test_bench_multi_vo_adoption_10k`` and ``test_bench_population_100k``
 are the opt-in large-scale runs (``REPRO_BENCH_LARGE=1`` or
 ``run_benchmarks.py --large``): the full ``multi-vo`` experiment — the
@@ -26,6 +32,52 @@ from repro.gridsim import warmed_snapshot
 from repro.traces.generator import DiurnalProfile
 
 RUN_LARGE = os.environ.get("REPRO_BENCH_LARGE", "") not in ("", "0")
+
+
+def fleet_grid_config():
+    """The 16-site / 4096-core fair-share grid of the population day."""
+    from repro.gridsim import GridConfig, SiteConfig
+
+    sites = tuple(
+        SiteConfig(
+            name=f"big{i:02d}",
+            n_cores=256,
+            utilization=0.8,
+            runtime_median=1800.0,
+            vo_shares=(("biomed", 0.5), ("atlas", 0.3), ("cms", 0.2)),
+        )
+        for i in range(16)
+    )
+    return GridConfig(sites=sites)
+
+
+def fleet_population_spec(scale: int) -> PopulationSpec:
+    """Four fleets totalling ``scale`` short tasks across a diurnal day."""
+    def n(frac: float) -> int:
+        return int(scale * frac)
+
+    return PopulationSpec(
+        fleets=(
+            FleetSpec(
+                "biomed", SingleResubmission(t_inf=4000.0), n(0.35), runtime=120.0
+            ),
+            FleetSpec(
+                "biomed",
+                MultipleSubmission(b=3, t_inf=4000.0),
+                n(0.15),
+                runtime=120.0,
+                label="biomed/adopters",
+            ),
+            FleetSpec(
+                "atlas", SingleResubmission(t_inf=4000.0), n(0.30), runtime=120.0
+            ),
+            FleetSpec(
+                "cms", SingleResubmission(t_inf=4000.0), n(0.20), runtime=120.0
+            ),
+        ),
+        window=86_400.0,
+        diurnal=DiurnalProfile(amplitude=0.4),
+    )
 
 
 def test_bench_multi_vo_population(benchmark):
@@ -57,6 +109,26 @@ def test_bench_multi_vo_population(benchmark):
     assert sum(result.broker_dispatches) > 2000
 
 
+def test_bench_population_20k(benchmark):
+    """2·10⁴ tasks in one day on the fleet-scale grid (always on).
+
+    A 1/5-scale replica of the 100k population day: same 4096-core
+    fair-share grid, same fleet mix and diurnal window, so the
+    fair-share commit loop, the wake predictor and the chained launch
+    walker are exercised in their production regime on every core
+    baseline run.
+    """
+    snap = warmed_snapshot(fleet_grid_config(), seed=41, duration=6 * 3600.0)
+    spec = fleet_population_spec(20_000)
+
+    def run():
+        return run_population(snap.restore(), spec, seed=41)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert result.total_finished + result.total_gave_up == 20_000
+    assert result.total_finished > 16_000
+
+
 @pytest.mark.skipif(
     not RUN_LARGE, reason="set REPRO_BENCH_LARGE=1 (or --large) to run"
 )
@@ -69,42 +141,8 @@ def test_bench_population_100k(benchmark):
     of jobs, sibling bursts batch-cancel, and the run finishes
     event-driven at the last task's completion.
     """
-    from repro.gridsim import GridConfig, SiteConfig
-
-    sites = tuple(
-        SiteConfig(
-            name=f"big{i:02d}",
-            n_cores=256,
-            utilization=0.8,
-            runtime_median=1800.0,
-            vo_shares=(("biomed", 0.5), ("atlas", 0.3), ("cms", 0.2)),
-        )
-        for i in range(16)
-    )
-    config = GridConfig(sites=sites)
-    snap = warmed_snapshot(config, seed=41, duration=6 * 3600.0)
-    spec = PopulationSpec(
-        fleets=(
-            FleetSpec(
-                "biomed", SingleResubmission(t_inf=4000.0), 35_000, runtime=120.0
-            ),
-            FleetSpec(
-                "biomed",
-                MultipleSubmission(b=3, t_inf=4000.0),
-                15_000,
-                runtime=120.0,
-                label="biomed/adopters",
-            ),
-            FleetSpec(
-                "atlas", SingleResubmission(t_inf=4000.0), 30_000, runtime=120.0
-            ),
-            FleetSpec(
-                "cms", SingleResubmission(t_inf=4000.0), 20_000, runtime=120.0
-            ),
-        ),
-        window=86_400.0,
-        diurnal=DiurnalProfile(amplitude=0.4),
-    )
+    snap = warmed_snapshot(fleet_grid_config(), seed=41, duration=6 * 3600.0)
+    spec = fleet_population_spec(100_000)
 
     def run():
         return run_population(snap.restore(), spec, seed=41)

@@ -227,6 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
             "e.g. 'probe_day' (incompatible with --update)"
         ),
     )
+    bench_p.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "run the selected benches under cProfile and print the top "
+            "rows instead of comparing (incompatible with --update)"
+        ),
+    )
+    bench_p.add_argument(
+        "--profile-rows",
+        type=int,
+        default=None,
+        metavar="N",
+        help="rows to print per profile table",
+    )
 
     return parser
 
@@ -598,6 +613,10 @@ def _cmd_bench(args, out, runner=subprocess.call) -> int:
         cmd.append("--large")
     if args.filter:
         cmd += ["--filter", args.filter]
+    if args.profile:
+        cmd.append("--profile")
+    if args.profile_rows is not None:
+        cmd += ["--profile-rows", str(args.profile_rows)]
     return runner(cmd)
 
 

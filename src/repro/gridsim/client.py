@@ -475,15 +475,14 @@ def _bump_job_ids_past(grid: GridSimulator) -> None:
             max_id = max(max_id, j.job_id)
         for j in getattr(site, "queue", ()):
             max_id = max(max_id, j.job_id)
-        # fair-share engines queue per VO (the event flavour holds Jobs,
-        # the vector flavour holds Jobs mixed with bg tuples)
+        # fair-share engines queue client jobs per VO (background work
+        # on the vector flavour is anonymous — no ids to collide with)
         for q in getattr(site, "_vo_queues", ()):
             for j in q:
                 max_id = max(max_id, j.job_id)
-        for q in getattr(site, "_voq", ()):
+        for q in getattr(site, "_clq", ()):
             for j in q:
-                if isinstance(j, Job):
-                    max_id = max(max_id, j.job_id)
+                max_id = max(max_id, j.job_id)
     current = next(jobs_mod._job_ids)
     jobs_mod._job_ids = itertools.count(max(current, max_id + 1))
 

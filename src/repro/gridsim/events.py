@@ -31,6 +31,14 @@ Three bulk facilities keep the kernel cheap under heavy load:
 :meth:`Simulator.stop` lets a callback end :meth:`Simulator.run_until`
 at the current instant (used by the client layer to finish a campaign
 the moment its last task completes, instead of polling the clock).
+
+Components that keep *lazy* state (e.g. the vectorised site engines,
+which materialise client-job completions on demand instead of holding
+one heap event per running job) register a reconciler via
+:meth:`Simulator.add_reconciler`; the loop invokes every reconciler just
+before :meth:`run_until` / :meth:`run_until_idle` returns, so code that
+inspects model state *between* runs sees the same picture the event
+oracle would show.
 """
 
 from __future__ import annotations
@@ -157,6 +165,8 @@ class Simulator:
         self._pool: dict[float, _TimerBucket] = {}
         #: bucket width (s) of the pooled timer wheel
         self.pooled_granularity = _POOLED_GRANULARITY
+        #: callbacks flushed before every run loop returns (lazy state)
+        self._reconcilers: list[Callable[[], None]] = []
 
     @property
     def now(self) -> float:
@@ -297,6 +307,22 @@ class Simulator:
 
     # -- event loop ----------------------------------------------------------
 
+    def add_reconciler(self, fn: Callable[[], None]) -> None:
+        """Register ``fn`` to run just before any run loop returns.
+
+        Reconcilers flush lazily-maintained model state (a vectorised
+        site draining its due completion heap, say) so post-run
+        inspection matches the event oracle.  They must be idempotent
+        and must not schedule events.  Registering the same callable
+        twice is a no-op.
+        """
+        if fn not in self._reconcilers:
+            self._reconcilers.append(fn)
+
+    def _reconcile(self) -> None:
+        for fn in self._reconcilers:
+            fn()
+
     def stop(self) -> None:
         """Ask the running loop to return after the current callback.
 
@@ -333,8 +359,10 @@ class Simulator:
             ev.callback()
             if self._stop_requested:
                 self._stop_requested = False
+                self._reconcile()
                 return
         self._now = t_end
+        self._reconcile()
 
     def run_until_idle(self, max_events: int = 10_000_000) -> None:
         """Process every pending event (bounded by ``max_events``).
@@ -360,4 +388,6 @@ class Simulator:
             ev.callback()
             if self._stop_requested:
                 self._stop_requested = False
+                self._reconcile()
                 return
+        self._reconcile()

@@ -56,6 +56,8 @@ __all__ = [
 #: default decay half-life of the fair-share usage window (s)
 DEFAULT_HALFLIFE = 86_400.0
 
+_INF = math.inf
+
 
 def normalize_vo_shares(
     vo_shares: Iterable[tuple[str, float]],
@@ -162,6 +164,21 @@ class FairShareState:
         clone._usage = list(self._usage)
         clone._last = self._last
         return clone
+
+    def reset_from(self, other: "FairShareState") -> None:
+        """Reset in place to mirror ``other`` (reusable scratch forks).
+
+        The wake predictor replays the commit recurrence on a fork per
+        prediction; resetting one long-lived scratch instead of
+        allocating a fresh copy keeps the hot path allocation-free.
+        Only the mutable accounting (usage vector, decay timestamp) is
+        copied — the VO table is assumed shared.
+        """
+        u = self._usage
+        ou = other._usage
+        for k in range(len(u)):
+            u[k] = ou[k]
+        self._last = other._last
 
     def decayed_usage(self, t: float) -> list[float]:
         """Usage decayed to ``t`` *without* committing the decay step."""
@@ -371,21 +388,45 @@ class FairShareComputingElement(_VoTelemetry, _PerJobBatchOps, ComputingElement)
 class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorComputingElement):
     """Two-lane engine with VO-labelled background and fair-share commits.
 
-    The background lane grows a third chunk array (VO label per arrival);
-    arrived-but-unstarted work of *both* lanes waits in per-VO FIFOs and
-    the Lindley commit loop asks :class:`FairShareState` which VO the
-    next free core serves.  Background entries stay ``(arrival, runtime)``
-    tuples — still no events, no Job objects.
+    The background lane is sharded per VO at feed time
+    (:meth:`feed_background` demuxes each chunk into per-VO
+    arrival/runtime arrays), so the commit loop never materialises
+    per-arrival tuples or mixed queues: each VO exposes one *head
+    arrival* — the earlier of its next background entry and its first
+    queued client job, background winning exact ties (the arrival-order
+    rule of the event oracle) — and the loop resolves starts straight
+    off those heads.  Background work still creates **zero events and
+    zero Job objects**.
 
-    Lane pointers are re-purposed versus the base class: ``_bg_i`` counts
-    arrivals *pulled* into VO queues (they arrive ≤ now), not commits, so
-    ``background_delivered`` is simply ``_bg_done + _bg_i``.  The single
-    wake is aimed at the earliest predicted *client* start, computed by
-    replaying the identical commit loop on forked state; a later
-    background chunk can only postpone that instant (new work competes
-    for cores), never advance it, so a stale wake fires early, commits
+    Commits run *block-resolved* by default (:attr:`block_commits`):
+    between client interactions the winner sequence of the
+    ``usage/share`` rule is a deterministic function of the decayed
+    usage vector, the per-VO heads, and the core free-time heap, so
+    maximal background-only runs are committed in one fused pass over
+    plain locals — replaying the exact ``2^{-Δt/halflife}`` decay
+    ladder and ``usage/share`` argmin the per-start loop commits, so
+    every float (and therefore every decision) is bit-identical.  The
+    pass falls back to per-start handling the moment a client job wins
+    a core (its ``on_start`` callback may re-enter the site) or a
+    block boundary is hit — a commit instant past ``now``, an empty
+    grid, or a dispatch-gate flip.  Flipping :attr:`block_commits` off
+    routes every commit through the per-start
+    :class:`FairShareState`-method loop instead; the equivalence suite
+    runs both and compares traces bit-for-bit.
+
+    The single wake is aimed at the earliest predicted *client* start,
+    computed by replaying the identical commit recurrence on a
+    reusable scratch fork of the fair-share state; a later background
+    chunk can only postpone that instant (new work competes for
+    cores), never advance it, so a stale wake fires early, commits
     nothing, and re-aims itself.
     """
+
+    #: commit background-only runs as fused blocks (the production
+    #: path); ``False`` resolves every start through the per-start
+    #: ``FairShareState`` method loop — same floats, kept as the
+    #: in-process oracle for the equivalence suite
+    block_commits: bool = True
 
     def __init__(
         self,
@@ -399,19 +440,39 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
     ) -> None:
         super().__init__(name, n_cores, sim, on_start=on_start)
         self.fairshare = FairShareState(vo_shares, fairshare_halflife)
-        #: pending background VO labels, parallel to ``_bg_t``/``_bg_r``
-        self._bg_v: list[int] = []
-        #: arrived-unstarted entries per VO: background as
-        #: ``(arrival, runtime)`` tuples, clients as the Job itself
-        self._voq: list[deque] = [deque() for _ in self.fairshare.names]
-        self._vo_husks = [0] * len(self.fairshare.names)
+        nvo = len(self.fairshare.names)
+        #: per-VO pending background arrivals (sorted) and runtimes;
+        #: entries before the per-VO cursor ``_bgc[v]`` are committed
+        self._bga: list[list[float]] = [[] for _ in range(nvo)]
+        self._bgr: list[list[float]] = [[] for _ in range(nvo)]
+        self._bgc: list[int] = [0] * nvo
+        #: committed background entries trimmed off the array fronts
+        self._bg_trimmed = 0
+        #: queued client jobs per VO (husks skipped lazily)
+        self._clq: list[deque[Job]] = [deque() for _ in range(nvo)]
+        self._vo_husks = [0] * nvo
         #: queued (live) client jobs across all VO queues — O(1) guard
         #: for the wake predictor instead of a full-queue scan
         self._live_clients = 0
         #: fair-share flavour of the base lane's next-commit memo: the
         #: decision loop exits record when the next start can happen, so
-        #: telemetry reads before that instant only pay a pull check
+        #: reconciliation points before that instant return immediately
         self._next_due = 0.0
+        #: reusable scratch fork for the wake predictor (lazily created,
+        #: reset in place per prediction — no allocation on the hot path)
+        self._pred_scratch: FairShareState | None = None
+        #: per-VO head rows of the block resolver (merged head arrivals
+        #: and their background/client components).  Valid whenever
+        #: ``_heads_mut == _mut``: the commit loop maintains them
+        #: through its own commits (including nested re-entrant walks —
+        #: the rows are shared in place), ``enqueue`` patches them in
+        #: O(1), and every other queue mutator bumps ``_mut`` so the
+        #: next walk rebuilds
+        self._heads = [0.0] * nvo
+        self._bheads = [0.0] * nvo
+        self._cheads = [0.0] * nvo
+        self._mut = 0
+        self._heads_mut = -1
 
     # -- background lane ---------------------------------------------------
 
@@ -421,29 +482,65 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
         runtimes: list[float],
         vos: list[int] | None = None,
     ) -> None:
-        """Append a chunk of VO-labelled background arrivals."""
-        if vos is None:
-            vos = [0] * len(times)
-        elif len(vos) != len(times):
+        """Append a chunk of VO-labelled background arrivals.
+
+        The chunk is demuxed into the per-VO arrays here (one vectorised
+        mask per VO): per-VO subsequences of a globally sorted chunk stay
+        sorted, so the commit loop reads heads with no merge step.
+        ``vos=None`` routes everything to VO 0.
+        """
+        n = len(times)
+        if vos is not None and len(vos) != n:
             raise ValueError(
-                f"vos has {len(vos)} entries for {len(times)} arrivals"
+                f"vos has {len(vos)} entries for {n} arrivals"
             )
         self._advance()
-        i = self._bg_i
-        if i:
-            del self._bg_t[:i]
-            del self._bg_r[:i]
-            del self._bg_v[:i]
-            self._bg_done += i
-            self._bg_i = 0
-        self._bg_t.extend(times)
-        self._bg_r.extend(runtimes)
-        self._bg_v.extend(vos)
-        self._next_due = 0.0  # the new chunk may hold the next start
+        bga, bgr, bgc = self._bga, self._bgr, self._bgc
+        for v in range(len(bgc)):
+            c = bgc[v]
+            if c:
+                # trim committed prefixes so pending arrays stay
+                # chunk-sized on healthy sites
+                del bga[v][:c]
+                del bgr[v][:c]
+                self._bg_trimmed += c
+                bgc[v] = 0
+        if not n:
+            return
+        if vos is None:
+            bga[0].extend(times)
+            bgr[0].extend(runtimes)
+        else:
+            va = np.asarray(vos, dtype=np.intp)
+            ta = np.asarray(times)
+            ra = np.asarray(runtimes)
+            routed = 0
+            for v in range(len(bga)):
+                m = va == v
+                k = int(m.sum())
+                if k:
+                    bga[v].extend(ta[m].tolist())
+                    bgr[v].extend(ra[m].tolist())
+                    routed += k
+            if routed != n:
+                raise ValueError(
+                    f"background VO labels out of range for {len(bga)} VOs"
+                )
+        self._mut += 1
+        nd = times[0]
+        if nd < self._next_due:
+            # an arrival can never start before it lands, so the memo
+            # only needs lowering to the chunk head — all-future feeds
+            # leave the walk deferred
+            self._next_due = nd
 
     def background_delivered(self) -> int:
         self._advance()
-        return self._bg_done + self._bg_i
+        now = self.sim._now
+        n = self._bg_trimmed
+        for a in self._bga:
+            n += bisect_right(a, now)
+        return n
 
     # -- queue operations ------------------------------------------------
 
@@ -453,16 +550,42 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
         if self.black_hole:
             self._fail_now(job)
             return
+        now = self.sim._now
         job.state = JobState.QUEUED
         job.site = self.name
-        job.queue_time = self.sim._now
-        # reconcile first so background arrivals <= now sit ahead of the
-        # client in its VO FIFO (the base engine's bg-first tie rule)
-        self._advance()
-        self._voq[self.fairshare.index_of(job.vo)].append(job)
+        job.queue_time = now
+        # commit anything due before the newcomer joins the competition:
+        # a start resolved at d == now by this reconciliation must not
+        # see the new client as a candidate (the order a per-event
+        # engine's earlier-scheduled events would enforce)
+        if now >= self._next_due:
+            self._advance()
+        vi = self.fairshare.index_of(job.vo)
+        self._clq[vi].append(job)
         self._live_clients += 1
-        self._next_due = 0.0  # an underserved VO's client can start at once
-        self._advance()  # a free core may start it this very instant
+        if self._heads_mut == self._mut:
+            # O(1) head patch: a newcomer joins the back of its VO's
+            # FIFO, so it becomes the client head only when there was
+            # no live head before it.  The pre-walk above may have
+            # started a sibling copy whose settle cancelled this very
+            # job (state/site are already stamped), so a husk can reach
+            # this point: it must not be installed as the head
+            if job.state is JobState.QUEUED and self._cheads[vi] == _INF:
+                self._cheads[vi] = now
+                if self._heads[vi] > now:
+                    self._heads[vi] = now
+        e = self._core_free[0]
+        if self._dispatch_floor > e:
+            e = self._dispatch_floor
+        if e <= now:
+            # a core is free: the newcomer (or a competitor it displaces
+            # to a later slot) may start this very instant
+            self._next_due = 0.0
+            self._advance()
+        elif e < self._next_due:
+            # every core is busy past now — no start can happen before
+            # ``e``, so lowering the memo there keeps the walk deferred
+            self._next_due = e
         if job.state is JobState.QUEUED:
             self._defer_wake()
 
@@ -473,6 +596,7 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
             job.state = JobState.CANCELLED
             self._vo_husks[self.fairshare.index_of(job.vo)] += 1
             self._live_clients -= 1
+            self._mut += 1  # the husk may be its VO's cached head
             # a removed competitor can advance any waiting client's
             # predicted start: re-aim, at worst early
             self._defer_wake()
@@ -480,104 +604,255 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
         return super().cancel(job)
 
     def begin_black_hole(self) -> None:
-        """Fail the per-VO queues, then flip via the base hook.
+        """Fail both per-VO lanes, then flip via the base hook.
 
-        ``_advance`` first pulls every arrival <= now into its VO queue
-        (its end-of-walk telemetry contract), so draining the queues here
-        covers both lanes; the base hook then finds ``_bg_i`` already
-        past every arrived entry and only has running work left to kill.
+        Queued client jobs fail with their ``on_fail`` notification;
+        arrived-but-unstarted background entries are consumed as
+        anonymous failures.  The base hook then only has running work
+        left to kill (its own background arrays are unused and empty).
         """
         if self.black_hole:
             return
         self._advance()
         now = self.sim._now
         on_fail = self.on_fail
-        for v, q in enumerate(self._voq):
-            for entry in q:
-                if isinstance(entry, Job):
-                    if entry.state is not JobState.QUEUED:
-                        continue
-                    entry.state = JobState.FAILED
-                    entry.end_time = now
-                    self.jobs_failed_bh += 1
-                    if on_fail is not None and entry.tag != "background":
-                        on_fail(entry)
-                else:
-                    self.jobs_failed_bh += 1
+        failed = 0
+        for v, q in enumerate(self._clq):
+            for job in q:
+                if job.state is not JobState.QUEUED:
+                    continue
+                job.state = JobState.FAILED
+                job.end_time = now
+                failed += 1
+                if on_fail is not None and job.tag != "background":
+                    on_fail(job)
             q.clear()
             self._vo_husks[v] = 0
+            a = self._bga[v]
+            c = self._bgc[v]
+            j = bisect_right(a, now, c)
+            failed += j - c
+            self._bgc[v] = j
+        self.jobs_failed_bh += failed
         self._live_clients = 0
+        self._mut += 1
         super().begin_black_hole()
 
-    # -- the fair-share commit loop ----------------------------------------
-
-    def _pull(self, upto: float) -> None:
-        """Move pending background arrivals with time <= ``upto`` into
-        their VO queues (they have arrived relative to the decision)."""
-        bg_t = self._bg_t
-        i = self._bg_i
-        n = len(bg_t)
-        if i >= n or bg_t[i] > upto:
+    def end_black_hole(self) -> None:
+        """Resume normal operation; arrivals during the hole stay failed."""
+        if not self.black_hole:
             return
-        bg_r, bg_v, voq = self._bg_r, self._bg_v, self._voq
-        while i < n and bg_t[i] <= upto:
-            voq[bg_v[i]].append((bg_t[i], bg_r[i]))
-            i += 1
-        self._bg_i = i
+        self._drain_hole(self.sim._now)
+        super().end_black_hole()
 
-    def _ready_candidates(self, d: float) -> list[int]:
-        """VOs whose head entry has arrived by ``d`` (husks dropped)."""
-        candidates = []
-        for v, q in enumerate(self._voq):
-            while q and isinstance(q[0], Job) and q[0].state is not JobState.QUEUED:
-                q.popleft()
-                self._vo_husks[v] -= 1
-            if q:
-                head = q[0]
-                arrival = head.queue_time if isinstance(head, Job) else head[0]
-                if arrival <= d:
-                    candidates.append(v)
-        return candidates
+    def _drain_hole(self, t: float) -> None:
+        """Consume per-VO background arrivals <= ``t`` as failures."""
+        bga, bgc = self._bga, self._bgc
+        failed = 0
+        for v in range(len(bgc)):
+            c = bgc[v]
+            j = bisect_right(bga[v], t, c)
+            if j > c:
+                failed += j - c
+                bgc[v] = j
+        if failed:
+            self.jobs_failed_bh += failed
+            self._mut += 1
 
-    def _next_arrival(self) -> float | None:
-        """Earliest arrival not yet ready (queue heads + pending chunks)."""
-        a: float | None = None
-        if self._bg_i < len(self._bg_t):
-            a = self._bg_t[self._bg_i]
-        for q in self._voq:
-            if q:
-                head = q[0]
-                arrival = head.queue_time if isinstance(head, Job) else head[0]
-                if a is None or arrival < a:
-                    a = arrival
-        return a
+    # -- the fair-share commit loop ----------------------------------------
 
     def _advance(self) -> None:
         """Commit every start with start time <= now, fair-share order.
 
-        Each iteration resolves one start: the decision instant ``d`` is
-        the first moment a free core and an arrived job coexist —
-        ``max(min core-free, dispatch floor)``, pushed up to the earliest
-        pending arrival when every queue is empty or still in the future
-        (the idle-core case, where the plain engine's ``max(arrival, m)``
-        applies).  All jobs arrived by ``d`` compete and the fair-share
-        state picks the VO; commits stop as soon as ``d`` passes now.
+        Each start's decision instant ``d`` is the first moment a free
+        core and an arrived job coexist — ``max(min core-free, dispatch
+        floor)``, pushed up to the earliest pending arrival when every
+        head is still in the future (the idle-core case, where the
+        plain engine's ``max(arrival, m)`` applies).  All VOs whose
+        head arrived by ``d`` compete and the decayed ``usage/share``
+        argmin picks the winner; commits stop as soon as ``d`` passes
+        now, memoising that instant in ``_next_due``.
         """
         t = self.sim._now
+        ends = self._client_ends
+        if ends and ends[0][0] <= t:
+            self._drain_completions()
         if self.black_hole:
             # arrivals inside a hole fail instantly, never occupying cores
-            j = bisect_right(self._bg_t, t, self._bg_i)
-            if j > self._bg_i:
-                self.jobs_failed_bh += j - self._bg_i
-                self._bg_i = j
+            self._drain_hole(t)
             return
         if t < self._next_due or not self.dispatch_enabled:
-            if self.dispatch_enabled:
-                # telemetry contract: arrivals <= now wait in their VO
-                # queue even while no commit is due yet
-                self._pull(t)
             return
-        fairshare = self.fairshare
+        if self.block_commits:
+            self._commit_block(t)
+        else:
+            self._commit_scalar(t)
+
+    def _commit_block(self, t: float) -> None:
+        """Block-resolved commits: fused decay/argmin over plain locals.
+
+        Background-only runs are resolved without a single method call
+        or attribute write — the decay ladder multiplies the usage
+        vector in place, the argmin scans the per-VO heads, the winner
+        bumps its VO cursor — and shared state is written back only at
+        block boundaries: before a client start callback (which may
+        re-enter this site) and at every exit.  The float sequence is
+        exactly the one :meth:`_commit_scalar` commits.
+        """
+        fs = self.fairshare
+        usage = fs._usage
+        shares = fs.shares
+        halflife = fs.halflife
+        last = fs._last
+        bga, bgr, bgc = self._bga, self._bgr, self._bgc
+        clq = self._clq
+        husks = self._vo_husks
+        nvo = len(bgc)
+        rng = range(nvo)
+        cf = self._core_free
+        floor = self._dispatch_floor
+        INF = _INF
+        QUEUED = JobState.QUEUED
+        heads = self._heads
+        bheads = self._bheads
+        cheads = self._cheads
+        started = 0
+        refill = self._mut != self._heads_mut
+        while True:
+            if refill:
+                refill = False
+                self._heads_mut = self._mut
+                for v in rng:
+                    a = bga[v]
+                    c = bgc[v]
+                    b = a[c] if c < len(a) else INF
+                    bheads[v] = b
+                    q = clq[v]
+                    while q:
+                        head = q[0]
+                        if head.state is QUEUED:
+                            j = head.queue_time
+                            break
+                        q.popleft()
+                        husks[v] -= 1
+                    else:
+                        j = INF
+                    cheads[v] = j
+                    heads[v] = b if b <= j else j
+            d = cf[0]
+            if floor > d:
+                d = floor
+            if d > t:
+                fs._last = last
+                self._started += started
+                self._next_due = d
+                return
+            a0 = heads[0]
+            for v in rng:
+                h = heads[v]
+                if h < a0:
+                    a0 = h
+            if a0 > d:
+                if a0 > t:
+                    fs._last = last
+                    self._started += started
+                    self._next_due = a0  # inf when both lanes are empty
+                    return
+                d = a0  # idle core: the next arrival starts when it lands
+            # the exact decay ladder the per-start loop commits
+            if d > last:
+                f = 0.5 ** ((d - last) / halflife)
+                for k in rng:
+                    usage[k] *= f
+                last = d
+            best = -1
+            br = 0.0
+            for v in rng:
+                if heads[v] <= d:
+                    r = usage[v] / shares[v]
+                    if best < 0 or r < br:
+                        best = v
+                        br = r
+            v = best
+            b = bheads[v]
+            if b <= cheads[v]:
+                # the background head wins (ties go to background — the
+                # arrival-order rule of the mixed queue)
+                c = bgc[v]
+                r = bgr[v][c]
+                heapreplace(cf, d + r)
+                usage[v] += r
+                started += 1
+                c += 1
+                bgc[v] = c
+                a = bga[v]
+                nb = a[c] if c < len(a) else INF
+                bheads[v] = nb
+                j = cheads[v]
+                heads[v] = nb if nb <= j else j
+            else:
+                q = clq[v]
+                # cheads[v] names the first *QUEUED* client's arrival,
+                # but cancelled husks may still sit in front of it (the
+                # O(1) enqueue patch installs a head without scanning
+                # the deque) — drop them at pop time, as the per-start
+                # loop does
+                job = q.popleft()
+                while job.state is not QUEUED:
+                    husks[v] -= 1
+                    job = q.popleft()
+                self._live_clients -= 1
+                r = job.runtime
+                heapreplace(cf, d + r)
+                usage[v] += r
+                started += 1
+                # patch the winner's head rows before the start callback
+                # so they stay valid for nested walks (and for the cheap
+                # path below when the callback leaves the queues alone)
+                while q:
+                    head = q[0]
+                    if head.state is QUEUED:
+                        j = head.queue_time
+                        break
+                    q.popleft()
+                    husks[v] -= 1
+                else:
+                    j = INF
+                cheads[v] = j
+                b = bheads[v]
+                heads[v] = b if b <= j else j
+                # block boundary: write shared state back before the
+                # start callback — it may cancel siblings here, re-enter
+                # _advance, or read telemetry
+                fs._last = last
+                self._started += started
+                started = 0
+                self._start_client(job, d)
+                if not self.dispatch_enabled:
+                    return  # end_outage resets the memo
+                cf = self._core_free
+                floor = self._dispatch_floor
+                last = fs._last
+                refill = self._mut != self._heads_mut
+
+    def _commit_scalar(self, t: float) -> None:
+        """Per-start oracle of the block resolver (``block_commits=False``).
+
+        One start per iteration through the :class:`FairShareState`
+        method calls — ``select`` then ``charge`` at the same decision
+        instant, the call sequence both fair-share engines have always
+        committed.  The block path must replay this loop's float ladder
+        bit-for-bit; ``tests/test_fairshare_block.py`` holds it to that.
+        """
+        fs = self.fairshare
+        bga, bgr, bgc = self._bga, self._bgr, self._bgc
+        clq = self._clq
+        husks = self._vo_husks
+        nvo = len(bgc)
+        INF = _INF
+        QUEUED = JobState.QUEUED
+        # this path pops queues without maintaining the cached head rows
+        self._heads_mut = -1
         while True:
             cf = self._core_free
             d = cf[0]
@@ -585,40 +860,50 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
                 d = self._dispatch_floor
             if d > t:
                 self._next_due = d
-                break
-            self._pull(d)
-            candidates = self._ready_candidates(d)
-            if not candidates:
-                a = self._next_arrival()
-                if a is None:
-                    self._next_due = float("inf")
-                    break
-                if a > t:
-                    self._next_due = a
-                    break
-                d = a  # idle core: the next arrival starts the moment it lands
-                self._pull(d)
-                candidates = self._ready_candidates(d)
-                if not candidates:  # pragma: no cover - a just arrived
-                    break
-            v = fairshare.select(candidates, d)
-            entry = self._voq[v].popleft()
-            if isinstance(entry, Job):
-                self._live_clients -= 1
-                heapreplace(cf, d + entry.runtime)
-                fairshare.charge(v, entry.runtime, d)
+                return
+            # per-VO head arrivals: background vs first live client,
+            # background winning exact ties (arrival order)
+            heads = []
+            a0 = INF
+            for v in range(nvo):
+                a = bga[v]
+                c = bgc[v]
+                b = a[c] if c < len(a) else INF
+                q = clq[v]
+                while q and q[0].state is not QUEUED:
+                    q.popleft()
+                    husks[v] -= 1
+                j = q[0].queue_time if q else INF
+                arr = b if b <= j else j
+                heads.append((arr, b))
+                if arr < a0:
+                    a0 = arr
+            if a0 > d:
+                if a0 > t:
+                    self._next_due = a0  # inf when both lanes are empty
+                    return
+                d = a0  # idle core: the next arrival starts when it lands
+            candidates = [v for v in range(nvo) if heads[v][0] <= d]
+            v = fs.select(candidates, d)
+            arr, b = heads[v]
+            if b <= arr:  # the background head wins its VO slot
+                c = bgc[v]
+                r = bgr[v][c]
+                heapreplace(cf, d + r)
+                fs.charge(v, r, d)
+                bgc[v] = c + 1
                 self._started += 1
-                self._start_client(entry, d)
+            else:
+                job = clq[v].popleft()
+                self._live_clients -= 1
+                heapreplace(cf, d + job.runtime)
+                fs.charge(v, job.runtime, d)
+                self._started += 1
+                self._start_client(job, d)
                 # the callback may cancel siblings here or close the
                 # gate — state is re-read from self at the loop head
                 if not self.dispatch_enabled:
                     return
-            else:
-                heapreplace(cf, d + entry[1])
-                fairshare.charge(v, entry[1], d)
-                self._started += 1
-        # telemetry contract: every arrival <= now waits in its VO queue
-        self._pull(t)
 
     # -- the wake ----------------------------------------------------------
 
@@ -672,97 +957,117 @@ class FairShareVectorComputingElement(_VoTelemetry, _PerJobBatchOps, VectorCompu
         self._wake = self.sim.schedule_at(s, self._on_wake)
 
     def _predict_next_client_start(self) -> float | None:
-        """Earliest client start, by replaying the commit loop on forks.
+        """Earliest client start, by replaying the commit recurrence.
 
-        Runs the exact :meth:`_advance` recurrence — heap, usage decay,
-        pulls, fair-share selection — on copies, stopping the moment a
-        client entry wins a core.  ``None`` when no client is queued.
-
-        The live VO queues are read through lazy cursors (an iterator
-        per queue, plus a buffer for background arrivals the replay
-        reaches), so each prediction touches only the entries the replay
-        actually consumes before the first client wins — O(work to first
-        client) instead of O(total queue) per re-aim, which is what
-        keeps 10⁵-task populations affordable on fair-share grids.
+        Runs the exact block-resolver arithmetic — heap, decay ladder,
+        ``usage/share`` argmin — on private copies (local cursor list,
+        copied heap, the reusable scratch fork of the fair-share
+        state), stopping the moment a client head wins a core.  Client
+        heads never pop during a replay (the first one to win *is* the
+        answer), so one live head per VO suffices.  Nothing is ever
+        committed: the live usage vector and decay timestamp are
+        untouched.  ``None`` when no client is queued.
         """
         if self._live_clients <= 0:
             return None
         QUEUED = JobState.QUEUED
-        voq = self._voq
-        nvo = len(voq)
+        fs = self.fairshare
+        scratch = self._pred_scratch
+        if scratch is None:
+            scratch = self._pred_scratch = fs.fork()
+        else:
+            scratch.reset_from(fs)
+        usage = scratch._usage
+        shares = scratch.shares
+        halflife = scratch.halflife
+        last = scratch._last
         h = self._core_free.copy()
         floor = self._dispatch_floor
-        usage = self.fairshare.fork()
-        iters: list = [iter(q) for q in voq]
-        bufs: list[deque] = [deque() for _ in range(nvo)]
-
-        def pull_head(v: int):
-            it = iters[v]
-            if it is not None:
-                for e in it:
-                    if isinstance(e, Job):
-                        if e.state is QUEUED:
-                            return (e.queue_time, e.runtime, True)
-                    else:
-                        return (e[0], e[1], False)
-                iters[v] = None
-            buf = bufs[v]
-            if buf:
-                return buf.popleft()
-            return None
-
-        heads = [pull_head(v) for v in range(nvo)]
-        bg_t, bg_r, bg_v = self._bg_t, self._bg_r, self._bg_v
-        i, n = self._bg_i, len(bg_t)
+        bga, bgr = self._bga, self._bgr
+        cc = list(self._bgc)
+        nvo = len(cc)
+        rng = range(nvo)
+        INF = _INF
+        cheads = [INF] * nvo
+        for v in rng:
+            for job in self._clq[v]:
+                if job.state is QUEUED:
+                    cheads[v] = job.queue_time
+                    break
+        bheads = [0.0] * nvo
+        heads = [0.0] * nvo
+        for v in rng:
+            a = bga[v]
+            c = cc[v]
+            b = a[c] if c < len(a) else INF
+            bheads[v] = b
+            j = cheads[v]
+            heads[v] = b if b <= j else j
         while True:
             d = h[0]
             if floor > d:
                 d = floor
-            # pushed up to the next arrival when nothing has arrived by d
-            # (same idle-core rule as _advance)
-            while True:
-                while i < n and bg_t[i] <= d:
-                    v = bg_v[i]
-                    if heads[v] is None:
-                        heads[v] = (bg_t[i], bg_r[i], False)
-                    else:
-                        bufs[v].append((bg_t[i], bg_r[i], False))
-                    i += 1
-                candidates = [
-                    v for v in range(nvo)
-                    if heads[v] is not None and heads[v][0] <= d
-                ]
-                if candidates:
-                    break
-                a = bg_t[i] if i < n else None
-                for v in range(nvo):
-                    hd = heads[v]
-                    if hd is not None and (a is None or hd[0] < a):
-                        a = hd[0]
-                if a is None:  # pragma: no cover - a queued client remains
+            a0 = heads[0]
+            for v in rng:
+                hv = heads[v]
+                if hv < a0:
+                    a0 = hv
+            if a0 > d:
+                if a0 == INF:  # pragma: no cover - a queued client remains
                     return None
-                d = a
-            v = usage.select(candidates, d)
-            arrival, rt, is_client = heads[v]
-            if is_client:
-                return d
-            heads[v] = pull_head(v)
-            heapreplace(h, d + rt)
-            usage.charge(v, rt, d)
+                d = a0
+            if d > last:
+                f = 0.5 ** ((d - last) / halflife)
+                for k in rng:
+                    usage[k] *= f
+                last = d
+            best = -1
+            br = 0.0
+            for v in rng:
+                if heads[v] <= d:
+                    r = usage[v] / shares[v]
+                    if best < 0 or r < br:
+                        best = v
+                        br = r
+            v = best
+            b = bheads[v]
+            if b > cheads[v]:
+                return d  # the client head wins this core
+            c = cc[v]
+            r = bgr[v][c]
+            heapreplace(h, d + r)
+            usage[v] += r
+            c += 1
+            cc[v] = c
+            a = bga[v]
+            nb = a[c] if c < len(a) else INF
+            bheads[v] = nb
+            j = cheads[v]
+            heads[v] = nb if nb <= j else j
 
     # -- telemetry ---------------------------------------------------------
 
     @property
     def queue_length(self) -> int:
         self._advance()
-        return sum(map(len, self._voq)) - sum(self._vo_husks)
+        now = self.sim._now
+        n = self._live_clients
+        bga, bgc = self._bga, self._bgc
+        for v in range(len(bgc)):
+            n += bisect_right(bga[v], now, bgc[v]) - bgc[v]
+        return n
 
     def _vo_queue_pairs(self) -> list[tuple[str, int]]:
         self._advance()
-        return [
-            (n, len(q) - h)
-            for n, q, h in zip(self.fairshare.names, self._voq, self._vo_husks)
-        ]
+        now = self.sim._now
+        out = []
+        for v, name in enumerate(self.fairshare.names):
+            c = self._bgc[v]
+            n_bg = bisect_right(self._bga[v], now, c) - c
+            out.append(
+                (name, n_bg + len(self._clq[v]) - self._vo_husks[v])
+            )
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -682,25 +682,29 @@ class GridSimulator:
             return self._mw.submit(job, on_start, via, task)
         job.submit_time = self.sim.now
         self.jobs_submitted += 1
-        # the fault uniforms are consumed inline, with the same refill
-        # idiom as submit_many — keep the two in lockstep, they share
-        # the _fault_rng stream.  The second draw only happens when the
-        # job survives the first channel, exactly like the historical
-        # per-channel Bernoullis
-        uniforms = self._fault_uniforms
-        if len(uniforms) < 2:
-            uniforms.extend(self._fault_rng.random(256).tolist())
         faults = self.config.faults
-        if uniforms.popleft() < faults.p_lost:
-            job.state = JobState.LOST
-            self.jobs_lost += 1
-            return job
-        if uniforms.popleft() < faults.p_stuck:
-            # the job will sit in a mis-configured queue forever: model it
-            # as matching that never dispatches
-            job.state = JobState.STUCK
-            self.jobs_stuck += 1
-            return job
+        if faults.p_lost != 0.0 or faults.p_stuck != 0.0:
+            # the fault uniforms are consumed inline, with the same
+            # refill idiom as submit_many — keep the two in lockstep,
+            # they share the _fault_rng stream.  The second draw only
+            # happens when the job survives the first channel, exactly
+            # like the historical per-channel Bernoullis.  Fault-free
+            # grids skip the draws entirely: the stream is private to
+            # this channel, so no other law can observe the skipped
+            # uniforms
+            uniforms = self._fault_uniforms
+            if len(uniforms) < 2:
+                uniforms.extend(self._fault_rng.random(256).tolist())
+            if uniforms.popleft() < faults.p_lost:
+                job.state = JobState.LOST
+                self.jobs_lost += 1
+                return job
+            if uniforms.popleft() < faults.p_stuck:
+                # the job will sit in a mis-configured queue forever:
+                # model it as matching that never dispatches
+                job.state = JobState.STUCK
+                self.jobs_stuck += 1
+                return job
         # attach the watcher only to jobs that can actually start: a
         # watcher on a lost/stuck job would never fire and only pins a
         # job→task reference cycle for the garbage collector
@@ -742,25 +746,35 @@ class GridSimulator:
                 mw.submit(job, on_start, via, task)
             return jobs
         now = self.sim.now
-        uniforms = self._fault_uniforms
         faults = self.config.faults
         live: list[Job] = []
-        for job in jobs:
-            job.submit_time = now
-            self.jobs_submitted += 1
-            if len(uniforms) < 2:
-                uniforms.extend(self._fault_rng.random(256).tolist())
-            if uniforms.popleft() < faults.p_lost:
-                job.state = JobState.LOST
-                self.jobs_lost += 1
-                continue
-            if uniforms.popleft() < faults.p_stuck:
-                job.state = JobState.STUCK
-                self.jobs_stuck += 1
-                continue
-            if on_start is not None:
-                job.on_start = on_start
-            live.append(job)
+        if faults.p_lost == 0.0 and faults.p_stuck == 0.0:
+            # fault-free grid: no uniforms to consume (private stream,
+            # nothing downstream can observe the skipped draws)
+            self.jobs_submitted += len(jobs)
+            for job in jobs:
+                job.submit_time = now
+                if on_start is not None:
+                    job.on_start = on_start
+                live.append(job)
+        else:
+            uniforms = self._fault_uniforms
+            for job in jobs:
+                job.submit_time = now
+                self.jobs_submitted += 1
+                if len(uniforms) < 2:
+                    uniforms.extend(self._fault_rng.random(256).tolist())
+                if uniforms.popleft() < faults.p_lost:
+                    job.state = JobState.LOST
+                    self.jobs_lost += 1
+                    continue
+                if uniforms.popleft() < faults.p_stuck:
+                    job.state = JobState.STUCK
+                    self.jobs_stuck += 1
+                    continue
+                if on_start is not None:
+                    job.on_start = on_start
+                live.append(job)
         if live:
             self.broker_for(via).submit_many(live)
         return jobs
@@ -797,18 +811,19 @@ class GridSimulator:
         path) — a middleware-domain attempt that reaches the broker
         draws exactly the channels a plain submission would.
         """
-        uniforms = self._fault_uniforms
-        if len(uniforms) < 2:
-            uniforms.extend(self._fault_rng.random(256).tolist())
         faults = self.config.faults
-        if uniforms.popleft() < faults.p_lost:
-            job.state = JobState.LOST
-            self.jobs_lost += 1
-            return
-        if uniforms.popleft() < faults.p_stuck:
-            job.state = JobState.STUCK
-            self.jobs_stuck += 1
-            return
+        if faults.p_lost != 0.0 or faults.p_stuck != 0.0:
+            uniforms = self._fault_uniforms
+            if len(uniforms) < 2:
+                uniforms.extend(self._fault_rng.random(256).tolist())
+            if uniforms.popleft() < faults.p_lost:
+                job.state = JobState.LOST
+                self.jobs_lost += 1
+                return
+            if uniforms.popleft() < faults.p_stuck:
+                job.state = JobState.STUCK
+                self.jobs_stuck += 1
+                return
         if on_start is not None:
             job.on_start = on_start
         broker.submit(job)

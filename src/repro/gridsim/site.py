@@ -36,7 +36,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from collections import deque
 from functools import partial
-from heapq import heapify, heapreplace
+from heapq import heapify, heappop, heappush, heapreplace
 from typing import Callable
 
 import numpy as np
@@ -432,6 +432,15 @@ class VectorComputingElement:
         self._client_husks = 0
         #: the single predicted-start event armed for the head client job
         self._wake: Event | None = None
+        #: min-heap of ``(end, job_id, job)`` for running client jobs —
+        #: completions are pure bookkeeping (the core release is already
+        #: encoded in the free-time heap at commit), so instead of one
+        #: kernel event per client job they drain lazily: at the top of
+        #: every ``_advance``, before cancellations, and via the kernel
+        #: reconciler when a run loop returns.  Entries for killed jobs
+        #: stay as husks and are skipped on drain.
+        self._client_ends: list[tuple[float, int, Job]] = []
+        sim.add_reconciler(self._drain_completions)
         self.running_jobs: dict[int, Job] = {}
         self.dispatch_enabled = True
         #: no start may be committed before this instant — raised to the
@@ -478,7 +487,12 @@ class VectorComputingElement:
             self._bg_i = 0
         self._bg_t.extend(times)
         self._bg_r.extend(runtimes)
-        self._next_due = 0.0  # the new chunk may hold the next start
+        if times and times[0] < self._next_due:
+            # a new arrival can never start before it arrives, so the
+            # memo only needs *lowering* to the chunk head — feeds are
+            # all-future, so the walk stays deferred instead of being
+            # forced on the next reconciliation point
+            self._next_due = times[0]
 
     def background_delivered(self) -> int:
         """Background arrivals whose arrival time has passed (lazy count)."""
@@ -499,9 +513,18 @@ class VectorComputingElement:
         job.queue_time = self.sim._now
         cq = self._client_q
         if self._client_husks == len(cq):
-            # no live client ahead: the new arrival may start this instant
-            # (behind a live head, FIFO order keeps the next commit as-is)
-            self._next_due = 0.0
+            # no live client ahead: the new arrival may start as soon as
+            # a core frees past the floor, so *lower* the memo to that
+            # bound (behind a live head, FIFO order keeps the next
+            # commit as-is).  Work ahead of it — background arrivals at
+            # or before its queue time — starts no earlier than the same
+            # bound, so the memo stays a valid next-commit lower bound
+            # and the walk is skipped entirely while all cores stay busy
+            e = self._core_free[0]
+            if self._dispatch_floor > e:
+                e = self._dispatch_floor
+            if e < self._next_due:
+                self._next_due = e
         cq.append(job)
         self._advance()  # background ahead of it commits; may start it now
         if job.state is JobState.QUEUED:
@@ -524,8 +547,13 @@ class VectorComputingElement:
         now = self.sim._now
         cq = self._client_q
         if self._client_husks == len(cq):
-            # no live client ahead: the batch head may start this instant
-            self._next_due = 0.0
+            # no live client ahead: the batch head may start once a core
+            # frees past the floor (same memo lowering as ``enqueue``)
+            e = self._core_free[0]
+            if self._dispatch_floor > e:
+                e = self._dispatch_floor
+            if e < self._next_due:
+                self._next_due = e
         n = 0
         for job in jobs:
             if job.state not in (JobState.MATCHING, JobState.CREATED):
@@ -542,6 +570,12 @@ class VectorComputingElement:
 
     def cancel(self, job: Job) -> bool:
         """Cancel a queued or running client job; returns ``True`` if it acted."""
+        ends = self._client_ends
+        if ends and ends[0][0] <= self.sim._now:
+            # a completion at or before now beats the cancel (the oracle
+            # fires the completion event first) — settle those before
+            # deciding whether the job is still cancellable
+            self._drain_completions()
         if job.state is JobState.QUEUED:
             if job.site != self.name:
                 return False  # queued, but at some other site
@@ -587,6 +621,9 @@ class VectorComputingElement:
         n = 0
         freed = False
         now = self.sim._now
+        ends = self._client_ends
+        if ends and ends[0][0] <= now:
+            self._drain_completions()  # due completions beat the cancels
         for job in jobs:
             if job.state is JobState.QUEUED and job.site == self.name:
                 job.state = JobState.CANCELLED
@@ -774,6 +811,9 @@ class VectorComputingElement:
         instead of re-binding the whole walk state.
         """
         t = self.sim._now
+        ends = self._client_ends
+        if ends and ends[0][0] <= t:
+            self._drain_completions()
         if self.black_hole:
             # arrivals inside a hole fail instantly, never occupying cores
             j = bisect_right(self._bg_t, t, self._bg_i)
@@ -852,25 +892,39 @@ class VectorComputingElement:
     def _start_client(self, job: Job, start: float) -> None:
         job.state = JobState.RUNNING
         job.start_time = start
-        # start == now by the wake invariant; schedule_at keeps the
-        # completion instant bit-identical to the core-free heap entry
-        job.completion_event = self.sim.schedule_at(
-            start + job.runtime, partial(self._complete, job)
-        )
+        # completion is pure bookkeeping (the core release is already in
+        # the free-time heap), so no kernel event: the end instant rides
+        # the lazy heap, computed with arithmetic identical to the
+        # heap entry, and drains at the next reconciliation point
+        heappush(self._client_ends, (start + job.runtime, job.job_id, job))
         self.running_jobs[job.job_id] = job
         if self.on_start is not None and job.tag != "background":
             self.on_start(job)
 
-    def _complete(self, job: Job) -> None:
-        job.completion_event = None
-        self.running_jobs.pop(job.job_id, None)
-        if job.state is not JobState.RUNNING:
-            return  # killed in the meantime
-        job.state = JobState.COMPLETED
-        job.end_time = self.sim._now
-        # the core-free entry already equals now; queued background work
-        # commits lazily and a waiting client's wake already targets this
-        # instant, so nothing needs triggering here
+    def _drain_completions(self) -> None:
+        """Settle every client completion due at or before now.
+
+        The vectorised-lane twin of the oracle's ``_complete`` event:
+        flips due running jobs to ``COMPLETED`` with their exact end
+        instant.  Entries whose job was killed mid-run are husks and are
+        skipped.  Idempotent and event-free, so it doubles as the
+        kernel reconciler that makes post-run state inspection match
+        the event oracle.
+        """
+        ends = self._client_ends
+        if not ends:
+            return
+        now = self.sim._now
+        pop_running = self.running_jobs.pop
+        RUNNING = JobState.RUNNING
+        COMPLETED = JobState.COMPLETED
+        while ends and ends[0][0] <= now:
+            end, _, job = heappop(ends)
+            if job.state is not RUNNING:
+                continue  # killed in the meantime — a stale husk
+            pop_running(job.job_id, None)
+            job.state = COMPLETED
+            job.end_time = end
 
     def _release_core(self, end_value: float, now: float) -> None:
         """Return a running client job's core (its free time becomes now).

@@ -196,6 +196,81 @@ class TestBench:
         code = _cmd_bench(args, io.StringIO(), runner=lambda cmd: 1)
         assert code == 1
 
+    def test_bench_profile_passthrough(self):
+        from repro.cli import _cmd_bench, build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--profile", "--profile-rows", "40", "--filter", "pop"]
+        )
+        calls = []
+        code = _cmd_bench(
+            args, io.StringIO(), runner=lambda cmd: calls.append(cmd) or 0
+        )
+        assert code == 0
+        (cmd,) = calls
+        assert "--profile" in cmd
+        assert cmd[cmd.index("--profile-rows") + 1] == "40"
+
+    def test_bench_harness_refuses_profile_with_update(self):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "run_benchmarks.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_benchmarks", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        with pytest.raises(SystemExit, match="--update with --profile"):
+            mod.main(["--update", "--profile"])
+
+    def test_bench_harness_profile_disables_benchmarking(
+        self, tmp_path, monkeypatch
+    ):
+        """Profile mode must not nest pytest-benchmark's instrumentation
+        under the outer cProfile (its pause/resume breaks there) — the
+        benches run once, disabled, and no JSON report is requested."""
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "run_benchmarks.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_benchmarks", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        calls = []
+
+        class _Proc:
+            returncode = 0
+
+        monkeypatch.setattr(
+            mod.subprocess, "run", lambda cmd, **kw: calls.append(cmd) or _Proc()
+        )
+        out = mod.run_pytest_benchmarks(
+            [Path("x.py")], profile_path=tmp_path / "x.prof"
+        )
+        assert out == {}
+        (cmd,) = calls
+        assert "cProfile" in cmd and "--benchmark-disable" in cmd
+        assert not any(str(a).startswith("--benchmark-json") for a in cmd)
+
+    def test_bench_harness_renders_profile_dump(self, tmp_path):
+        import cProfile
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "run_benchmarks.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_benchmarks", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        dump = tmp_path / "x.prof"
+        cProfile.run("sum(range(1000))", str(dump))
+        table = mod.render_profile(dump, 5)
+        assert "cumulative" in table and "tottime" in table
+
 
 class TestParser:
     def test_requires_command(self):
