@@ -244,6 +244,13 @@ def main(argv: list[str] | None = None) -> int:
         metavar="N",
         help="rows to print per profile table (default: 25)",
     )
+    parser.add_argument(
+        "--profile-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the profile tables to this file (requires --profile)",
+    )
     args = parser.parse_args(argv)
 
     if args.update and args.filter:
@@ -256,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
             "--update with --profile would bake profiler overhead into "
             "the baseline; drop one of the two"
         )
+    if args.profile_out is not None and not args.profile:
+        raise SystemExit("--profile-out only makes sense with --profile")
 
     if args.profile:
         with tempfile.NamedTemporaryFile(suffix=".prof", delete=False) as tmp:
@@ -271,6 +280,8 @@ def main(argv: list[str] | None = None) -> int:
         finally:
             profile_path.unlink(missing_ok=True)
         print(table)
+        if args.profile_out is not None:
+            args.profile_out.write_text(table, encoding="utf-8")
         if args.report is not None:
             args.report.write_text(table, encoding="utf-8")
         return 0

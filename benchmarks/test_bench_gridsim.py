@@ -272,3 +272,46 @@ def test_bench_broker_storm_day(benchmark):
     assert out.finished > 100
     out.report.verify()
     assert out.report.jobs >= 150
+
+
+def test_bench_trace_day(benchmark):
+    """Scenario: the broker-storm task day with end-to-end tracing on.
+
+    Identical campaign to ``test_bench_broker_storm_day`` but with
+    ``GridConfig.tracing`` enabled, so every lifecycle hook takes its
+    recording branch and the latency histogram fills.  Comparing the
+    two benches reads off the tracing overhead directly; the span count
+    assertion keeps the recorder honest about actually recording.
+    """
+    import dataclasses
+
+    from repro.gridsim import fault_schedule
+    from repro.gridsim.chaos import chaos_grid_config, run_chaos
+
+    cfg = dataclasses.replace(
+        fault_schedule(
+            chaos_grid_config(n_sites=6, n_brokers=2, seed=3),
+            seed=29,
+            start=3_600.0,
+            window=6 * 3_600.0,
+            n_broker_outages=3,
+            p_fail=0.2,
+            p_landed=0.5,
+        ),
+        tracing=True,
+    )
+
+    def run():
+        return run_chaos(
+            cfg,
+            seed=17,
+            n_tasks=150,
+            warm=3_600.0,
+            task_interval=120.0,
+            horizon=86_400.0,
+        )
+
+    out = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert out.finished > 100
+    out.report.verify()
+    assert len(out.events) > 4 * out.finished

@@ -7,6 +7,8 @@ Usage::
     python -m repro run all --out results/ --jobs 4
     python -m repro describe 2006-IX
     python -m repro bench --threshold 1.5
+    python -m repro chaos --schedule storm-broker-site --trace trace.jsonl
+    python -m repro report trace.jsonl --gwf trace.gwf
 """
 
 from __future__ import annotations
@@ -181,6 +183,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign horizon after warm-up (s)",
     )
     chaos_p.add_argument("--seed", type=int, default=11)
+    chaos_p.add_argument(
+        "--schedule",
+        metavar="NAME",
+        default=None,
+        help=(
+            "run only the named standard schedule (e.g. "
+            "'storm-broker-site') instead of the full set"
+        ),
+    )
+    chaos_p.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "record an end-to-end task trace of the campaign to this "
+            "JSONL file (requires --schedule, incompatible with "
+            "--matrix); read it back with 'repro report'"
+        ),
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="latency-decomposition report from a recorded task trace",
+    )
+    report_p.add_argument(
+        "trace", type=Path, help="JSONL trace written by 'repro chaos --trace'"
+    )
+    report_p.add_argument(
+        "--gwf",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help=(
+            "also export the completed tasks as a Grid Workloads Format "
+            "trace (parseable by repro.traces.gwf)"
+        ),
+    )
+    report_p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the report to this file as well as stdout",
+    )
 
     desc_p = sub.add_parser("describe", help="describe a paper trace set")
     desc_p.add_argument("week", help="trace-set name, e.g. 2006-IX")
@@ -241,6 +288,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="rows to print per profile table",
+    )
+    bench_p.add_argument(
+        "--profile-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the profile tables to this file (requires --profile)",
     )
 
     return parser
@@ -481,6 +535,8 @@ def _cmd_weather(args, out) -> int:
 
 def _cmd_chaos(args, out) -> int:
     """Audit task conservation under seeded middleware-fault schedules."""
+    import dataclasses
+
     from repro.gridsim.chaos import (
         chaos_grid_config,
         chaos_matrix,
@@ -488,15 +544,39 @@ def _cmd_chaos(args, out) -> int:
         run_chaos,
         standard_schedules,
     )
+    from repro.gridsim.tracing import write_trace
     from repro.util.tables import Table
 
+    if args.trace is not None and args.schedule is None:
+        out.write("error: --trace requires --schedule\n")
+        return 2
+    if args.trace is not None and args.matrix:
+        out.write("error: --trace is incompatible with --matrix\n")
+        return 2
     try:
         base = chaos_grid_config(seed=args.seed)
         schedules = standard_schedules(base)
-        schedules += [
-            (f"generated#{k}", fault_schedule(base, args.seed + k))
-            for k in range(1, args.schedules + 1)
-        ]
+        if args.schedule is not None:
+            names = [name for name, _ in schedules]
+            if args.schedule not in names:
+                out.write(
+                    f"error: unknown schedule {args.schedule!r}; "
+                    f"available: {', '.join(names)}\n"
+                )
+                return 2
+            schedules = [
+                (name, cfg) for name, cfg in schedules if name == args.schedule
+            ]
+        else:
+            schedules += [
+                (f"generated#{k}", fault_schedule(base, args.seed + k))
+                for k in range(1, args.schedules + 1)
+            ]
+        if args.trace is not None:
+            schedules = [
+                (name, dataclasses.replace(cfg, tracing=True))
+                for name, cfg in schedules
+            ]
         table = Table(
             title="chaos campaigns: task-conservation audit",
             columns=[
@@ -553,6 +633,9 @@ def _cmd_chaos(args, out) -> int:
                     failures += 1
                     for v in res.report.violations:
                         out.write(f"violation [{name}]: {v}\n")
+                if args.trace is not None:
+                    write_trace(res.events, args.trace)
+                    out.write(f"wrote {args.trace} ({len(res.events)} events)\n")
     except ValueError as exc:
         out.write(f"error: {exc}\n")
         return 2
@@ -561,6 +644,40 @@ def _cmd_chaos(args, out) -> int:
         out.write(f"\n{failures} campaign(s) violated task conservation\n")
         return 1
     out.write("\nevery task accounted for exactly once\n")
+    return 0
+
+
+def _cmd_report(args, out) -> int:
+    """Render a latency-decomposition report from a recorded trace."""
+    from repro.gridsim.tracing import (
+        breakdown_tables,
+        decompose,
+        export_gwf,
+        read_trace,
+    )
+
+    try:
+        events = read_trace(args.trace)
+    except (OSError, ValueError, KeyError) as exc:
+        out.write(f"error: cannot read trace {args.trace}: {exc}\n")
+        return 2
+    records = decompose(events)
+    by_strategy, by_vo = breakdown_tables(records)
+    text = (
+        f"trace: {args.trace} — {len(events)} events, "
+        f"{len(records)} completed tasks\n\n"
+        + by_strategy.render()
+        + "\n\n"
+        + by_vo.render()
+        + "\n"
+    )
+    out.write(text)
+    if args.out is not None:
+        args.out.write_text(text, encoding="utf-8")
+        out.write(f"wrote {args.out}\n")
+    if args.gwf is not None:
+        n = export_gwf(events, args.gwf)
+        out.write(f"wrote {args.gwf} ({n} GWF rows)\n")
     return 0
 
 
@@ -617,6 +734,8 @@ def _cmd_bench(args, out, runner=subprocess.call) -> int:
         cmd.append("--profile")
     if args.profile_rows is not None:
         cmd += ["--profile-rows", str(args.profile_rows)]
+    if args.profile_out is not None:
+        cmd += ["--profile-out", str(args.profile_out)]
     return runner(cmd)
 
 
@@ -634,6 +753,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_weather(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
     if args.command == "describe":
         return _cmd_describe(args, out)
     if args.command == "bench":

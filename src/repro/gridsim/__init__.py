@@ -33,7 +33,11 @@ substitute: an event-driven simulator with
   operator-style bans and probe re-admission off observed job outcomes,
   with health-aware (and therefore staleness-bound) broker masking;
 * replay of recorded SWF/GWF workloads through the background lane
-  (:mod:`repro.gridsim.replay`).
+  (:mod:`repro.gridsim.replay`);
+* opt-in end-to-end task tracing with latency decomposition and GWF
+  export (:mod:`repro.gridsim.tracing`), backed by the per-grid
+  counter/histogram/gauge registry (:mod:`repro.gridsim.registry`)
+  every subsystem publishes into.
 
 Fleets of strategy-running users per VO are driven by the companion
 :mod:`repro.population` package.
@@ -97,7 +101,17 @@ from repro.gridsim.weather import (
     WeatherConfig,
 )
 from repro.gridsim.probes import ProbeExperiment
+from repro.gridsim.registry import Counter, Histogram, MetricsRegistry
 from repro.gridsim.replay import TraceReplayLoad, replay_arrays_from_trace
+from repro.gridsim.tracing import (
+    TaskBreakdown,
+    TraceRecorder,
+    breakdown_tables,
+    decompose,
+    export_gwf,
+    read_trace,
+    write_trace,
+)
 from repro.gridsim.site import ComputingElement, VectorComputingElement
 from repro.gridsim.wms import BatchedWorkloadManager, WorkloadManager
 from repro.gridsim.client import (
@@ -163,6 +177,16 @@ __all__ = [
     "HealthState",
     "SiteHealth",
     "ProbeExperiment",
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "TaskBreakdown",
+    "TraceRecorder",
+    "breakdown_tables",
+    "decompose",
+    "export_gwf",
+    "read_trace",
+    "write_trace",
     "StrategyOutcome",
     "TaskCore",
     "launch_task",

@@ -407,6 +407,9 @@ class ChaosResult:
     mean_latency: float
     report: ConservationReport
     weather: dict
+    #: recorded lifecycle events when ``config.tracing`` was on
+    #: (see :mod:`repro.gridsim.tracing`); empty otherwise
+    events: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -472,6 +475,7 @@ def run_chaos(
         mean_latency=float(j.mean()) if j.size else float("nan"),
         report=report,
         weather=grid.weather_report(),
+        events=tuple(grid._tr.events) if grid._tr is not None else (),
     )
 
 

@@ -95,10 +95,12 @@ class TaskCore:
 
     __slots__ = ("grid", "runtime", "vo", "via", "t_start", "jobs_used",
                  "done", "active_jobs", "timers", "agent_retries",
-                 "client_attempts", "retry_pending")
+                 "client_attempts", "retry_pending", "task_id")
 
     #: tag stamped on every submitted copy
     tag = "task"
+    #: strategy label recorded in the task's trace events
+    trace_label = "task"
 
     def __init__(
         self,
@@ -126,6 +128,9 @@ class TaskCore:
         #: client-side retries currently backing off / awaiting an ack —
         #: while non-zero the ResubmissionAgent defers rescuing this task
         self.retry_pending = 0
+        tr = grid._tr
+        #: trace-assigned task id (-1 on untraced grids)
+        self.task_id = tr.task_created(self) if tr is not None else -1
 
     def submit_copy(self) -> Job:
         """Submit one more copy of the task's payload."""
@@ -174,6 +179,9 @@ class TaskCore:
             return
         self.done = True
         self._settle(winner)
+        tr = self.grid._tr
+        if tr is not None:
+            tr.complete(self, winner)
         self.finished(winner)
 
     def _settle(self, winner: Job | None) -> None:
@@ -205,6 +213,9 @@ class TaskCore:
             return
         self.done = True
         self._settle(None)
+        tr = self.grid._tr
+        if tr is not None:
+            tr.expire(self)
 
     def finished(self, winner: Job) -> None:  # pragma: no cover - abstract
         raise NotImplementedError
@@ -228,6 +239,8 @@ class _StrategyTask(TaskCore):
 
 class _SingleTask(_StrategyTask):
     __slots__ = ("t_inf",)
+
+    trace_label = "single"
 
     def __init__(self, grid, runtime, results, t_inf: float, **kwargs) -> None:
         super().__init__(grid, runtime, results, **kwargs)
@@ -253,6 +266,8 @@ class _SingleTask(_StrategyTask):
 class _MultipleTask(_StrategyTask):
     __slots__ = ("b", "t_inf")
 
+    trace_label = "multiple"
+
     def __init__(
         self, grid, runtime, results, b: int, t_inf: float, **kwargs
     ) -> None:
@@ -277,6 +292,8 @@ class _MultipleTask(_StrategyTask):
 
 class _DelayedTask(_StrategyTask):
     __slots__ = ("t0", "t_inf")
+
+    trace_label = "delayed"
 
     def __init__(
         self, grid, runtime, results, t0: float, t_inf: float, **kwargs

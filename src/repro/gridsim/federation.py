@@ -154,6 +154,18 @@ class _FederatedInfoMixin:
             self._remote_time = now
         return self._snapshot
 
+    def snapshot_staleness(self) -> float:
+        """Worst-case age of the split view: owned cadence vs lagged remote.
+
+        Pure read (no refresh), like the base implementation — the
+        trace's broker-hop events record how stale a ranking could be.
+        """
+        now = self.sim.now
+        staleness = now - self._snapshot_time
+        if self._remote_idx:
+            staleness = max(staleness, now - self._remote_time)
+        return staleness
+
     def end_outage(self) -> None:
         """Recover with a cold *federated* view as well.
 

@@ -36,7 +36,9 @@ from repro.gridsim.health import HealthConfig, HealthService
 from repro.gridsim.jobs import Job, JobState
 from repro.gridsim.middleware import MiddlewareDomain, RetryPolicy
 from repro.gridsim.outages import OutageProcess
+from repro.gridsim.registry import MetricsRegistry
 from repro.gridsim.site import ComputingElement, VectorComputingElement
+from repro.gridsim.tracing import TraceRecorder
 from repro.gridsim.weather import (
     ResubmissionAgent,
     ResubmitConfig,
@@ -196,6 +198,14 @@ class GridConfig:
         timeouts and per-broker circuit breakers driving failover
         across :attr:`GridSimulator.brokers`.  ``None`` means one
         attempt per copy, exactly today's clients.
+    tracing:
+        Opt-in end-to-end task tracing
+        (:class:`~repro.gridsim.tracing.TraceRecorder`): records typed
+        lifecycle events (submit, broker hop, enqueue, start,
+        complete/cancel/fail, retry, rescue, duplicate mint/reconcile)
+        for every client task.  ``False`` (default) keeps every hook on
+        its ``_tr is None`` fast path — a traced run replays the
+        untraced one byte-for-byte, tracing just writes it down.
 
     Configuring any of ``retry``, ``submit_faults``, scheduled
     ``weather.broker_outages`` or a storm ``broker_prob`` activates the
@@ -219,6 +229,7 @@ class GridConfig:
     resubmit: ResubmitConfig | None = None
     submit_faults: SubmitFaultConfig | None = None
     retry: RetryPolicy | None = None
+    tracing: bool = False
 
     def __post_init__(self) -> None:
         if not self.sites:
@@ -436,6 +447,14 @@ class GridSimulator:
     def __init__(self, config: GridConfig, seed: RngLike = None) -> None:
         self.config = config
         self.sim = Simulator()
+        #: unified counter/histogram/gauge namespace every subsystem
+        #: publishes into (middleware stats, weather counters, tracing
+        #: latency histogram); reading it never touches the laws
+        self.metrics = MetricsRegistry()
+        #: opt-in task tracing — None keeps every hook on its fast path
+        self._tr = (
+            TraceRecorder(self.sim, self.metrics) if config.tracing else None
+        )
         # extra broker streams are appended *after* the historical
         # 2 + n_sites children, weather streams after those, and the
         # middleware chaos/jitter streams last, so degenerate
@@ -631,6 +650,76 @@ class GridSimulator:
         self.jobs_stuck = 0
         #: at-least-once duplicates cleaned up by sibling-cancel
         self.duplicates_reconciled = 0
+        if self._tr is not None:
+            for broker in self.brokers:
+                broker._tr = self._tr
+            if self._agent is not None:
+                self._agent._tr = self._tr
+            if config.health is None:
+                # health grids already route failures through
+                # _notify_fail; tracing needs the same signal
+                for site in self.sites:
+                    site.on_fail = self._notify_fail
+        self._register_metrics()
+
+    def _register_metrics(self) -> None:
+        """Publish every subsystem's gauges into :attr:`metrics`.
+
+        Sources are ``(obj, attr)`` pairs or bound methods so the
+        registry pickles with the grid (warm-cache snapshots).
+        """
+        m = self.metrics
+        for attr in (
+            "jobs_submitted",
+            "jobs_lost",
+            "jobs_stuck",
+            "duplicates_reconciled",
+        ):
+            m.register_gauge(f"grid.{attr}", self, attr)
+        m.register_gauge("grid.jobs_completed", self._jobs_completed_total)
+        m.register_gauge("weather.outages_started", self._outages_started_total)
+        m.register_gauge("weather.storms_started", self._storms_started_total)
+        for site in self.sites:
+            m.register_gauge(f"site.{site.name}.jobs_killed", site, "jobs_killed")
+            m.register_gauge(
+                f"site.{site.name}.black_hole_failures", site, "jobs_failed_bh"
+            )
+            if hasattr(site, "usage_shares"):
+                # fair-share engines publish their decayed usage split
+                m.register_gauge(f"site.{site.name}.usage_shares", site.usage_shares)
+        for i, broker in enumerate(self.brokers):
+            name = getattr(broker, "name", str(i))
+            m.register_gauge(f"broker.{name}.dispatches", broker, "dispatch_count")
+            m.register_gauge(
+                f"broker.{name}.outages_started", broker, "outages_started"
+            )
+        if self._health is not None:
+            m.register_gauge("health.report", self._health.report)
+        if self._agent is not None:
+            m.register_gauge("resubmit.detected", self._agent, "detected")
+            m.register_gauge(
+                "resubmit.resubmissions", self._agent, "resubmissions"
+            )
+        if self._mw is not None:
+            m.register_gauge("mw.duplicates", self._mw, "duplicates")
+
+    def _outages_started_total(self) -> int:
+        """Scheduled + storm-driven site outages begun so far."""
+        total = sum(p.outages_started for p in self.outage_processes)
+        if self.storm is not None:
+            total += self.storm.outages_started
+        return total
+
+    def _storms_started_total(self) -> int:
+        return self.storm.storms_started if self.storm is not None else 0
+
+    def _jobs_completed_total(self) -> int:
+        return sum(s.jobs_completed for s in self.sites)
+
+    @property
+    def trace(self) -> TraceRecorder | None:
+        """The task-lifecycle recorder, or ``None`` when tracing is off."""
+        return self._tr
 
     # -- time ---------------------------------------------------------------
 
@@ -682,6 +771,9 @@ class GridSimulator:
             return self._mw.submit(job, on_start, via, task)
         job.submit_time = self.sim.now
         self.jobs_submitted += 1
+        tr = self._tr
+        if tr is not None and task is not None:
+            tr.submit(task, job)
         faults = self.config.faults
         if faults.p_lost != 0.0 or faults.p_stuck != 0.0:
             # the fault uniforms are consumed inline, with the same
@@ -698,12 +790,16 @@ class GridSimulator:
             if uniforms.popleft() < faults.p_lost:
                 job.state = JobState.LOST
                 self.jobs_lost += 1
+                if tr is not None:
+                    tr.fail(job, "lost")
                 return job
             if uniforms.popleft() < faults.p_stuck:
                 # the job will sit in a mis-configured queue forever:
                 # model it as matching that never dispatches
                 job.state = JobState.STUCK
                 self.jobs_stuck += 1
+                if tr is not None:
+                    tr.fail(job, "stuck")
                 return job
         # attach the watcher only to jobs that can actually start: a
         # watcher on a lost/stuck job would never fire and only pins a
@@ -712,9 +808,12 @@ class GridSimulator:
             job.on_start = on_start
         brokers = self.brokers
         if via is None and len(brokers) == 1:
-            brokers[0].submit(job)
+            broker = brokers[0]
         else:
-            self.broker_for(via).submit(job)
+            broker = self.broker_for(via)
+        if tr is not None:
+            tr.hop(job, broker)
+        broker.submit(job)
         return job
 
     def submit_many(
@@ -747,6 +846,7 @@ class GridSimulator:
             return jobs
         now = self.sim.now
         faults = self.config.faults
+        tr = self._tr
         live: list[Job] = []
         if faults.p_lost == 0.0 and faults.p_stuck == 0.0:
             # fault-free grid: no uniforms to consume (private stream,
@@ -754,6 +854,8 @@ class GridSimulator:
             self.jobs_submitted += len(jobs)
             for job in jobs:
                 job.submit_time = now
+                if tr is not None and task is not None:
+                    tr.submit(task, job)
                 if on_start is not None:
                     job.on_start = on_start
                 live.append(job)
@@ -762,21 +864,31 @@ class GridSimulator:
             for job in jobs:
                 job.submit_time = now
                 self.jobs_submitted += 1
+                if tr is not None and task is not None:
+                    tr.submit(task, job)
                 if len(uniforms) < 2:
                     uniforms.extend(self._fault_rng.random(256).tolist())
                 if uniforms.popleft() < faults.p_lost:
                     job.state = JobState.LOST
                     self.jobs_lost += 1
+                    if tr is not None:
+                        tr.fail(job, "lost")
                     continue
                 if uniforms.popleft() < faults.p_stuck:
                     job.state = JobState.STUCK
                     self.jobs_stuck += 1
+                    if tr is not None:
+                        tr.fail(job, "stuck")
                     continue
                 if on_start is not None:
                     job.on_start = on_start
                 live.append(job)
         if live:
-            self.broker_for(via).submit_many(live)
+            broker = self.broker_for(via)
+            if tr is not None:
+                for job in live:
+                    tr.hop(job, broker)
+            broker.submit_many(live)
         return jobs
 
     def broker_for(self, via: int | str | None = None) -> WorkloadManager:
@@ -812,6 +924,7 @@ class GridSimulator:
         draws exactly the channels a plain submission would.
         """
         faults = self.config.faults
+        tr = self._tr
         if faults.p_lost != 0.0 or faults.p_stuck != 0.0:
             uniforms = self._fault_uniforms
             if len(uniforms) < 2:
@@ -819,10 +932,14 @@ class GridSimulator:
             if uniforms.popleft() < faults.p_lost:
                 job.state = JobState.LOST
                 self.jobs_lost += 1
+                if tr is not None:
+                    tr.fail(job, "lost")
                 return
             if uniforms.popleft() < faults.p_stuck:
                 job.state = JobState.STUCK
                 self.jobs_stuck += 1
+                if tr is not None:
+                    tr.fail(job, "stuck")
                 return
         if on_start is not None:
             job.on_start = on_start
@@ -849,20 +966,29 @@ class GridSimulator:
         cancel that settles its task must kill the pending retry saga.
         """
         job.on_start = None
+        tr = self._tr
         if job.duplicate:
             # an at-least-once ghost reconciled by sibling-cancel
             job.duplicate = False
             self.duplicates_reconciled += 1
+            if tr is not None:
+                tr.dup_reconciled(job)
         if job.state is JobState.MATCHING:
             self.wms.cancel_matching(job)
+            if tr is not None:
+                tr.cancel(job)
             return
         if job.state in (JobState.STUCK, JobState.LOST, JobState.CREATED):
             job.state = JobState.CANCELLED
+            if tr is not None:
+                tr.cancel(job)
             return
         if job.state in (JobState.QUEUED, JobState.RUNNING):
             site = self._site_by_name.get(job.site)
             if site is not None:
                 site.cancel(job)
+                if tr is not None:
+                    tr.cancel(job)
 
     def cancel_many(self, jobs: list[Job]) -> None:
         """Cancel a batch of jobs in one grid call (sibling copies).
@@ -874,19 +1000,28 @@ class GridSimulator:
         This is the cancellation lane :class:`~repro.gridsim.client.TaskCore`
         uses to kill a task's sibling copies the instant one starts.
         """
+        tr = self._tr
         by_site: dict[str, list[Job]] = {}
         for job in jobs:
             job.on_start = None
             if job.duplicate:
                 job.duplicate = False
                 self.duplicates_reconciled += 1
+                if tr is not None:
+                    tr.dup_reconciled(job)
             state = job.state
             if state is JobState.MATCHING:
                 job.state = JobState.CANCELLED
+                if tr is not None:
+                    tr.cancel(job)
             elif state in (JobState.STUCK, JobState.LOST, JobState.CREATED):
                 job.state = JobState.CANCELLED
+                if tr is not None:
+                    tr.cancel(job)
             elif state in (JobState.QUEUED, JobState.RUNNING):
                 by_site.setdefault(job.site, []).append(job)
+                if tr is not None:
+                    tr.cancel(job)
         for name, bunch in by_site.items():
             site = self._site_by_name.get(name)
             if site is not None:
@@ -949,6 +1084,11 @@ class GridSimulator:
     # -- internals -------------------------------------------------------
 
     def _notify_start(self, job: Job) -> None:
+        # record the start before the watcher runs: settling a task
+        # cancels its siblings, and those cancel events must not precede
+        # the start that triggered them
+        if self._tr is not None:
+            self._tr.start(job)
         if self._health is not None and job.site:
             self._health.observe_success(job.site)
         watcher = job.on_start
@@ -961,6 +1101,8 @@ class GridSimulator:
         # machine through the site's on_fail hook
         if self._health is not None and job.site:
             self._health.observe_failure(job.site)
+        if self._tr is not None:
+            self._tr.fail(job, "failed")
 
     # -- telemetry -------------------------------------------------------
 
@@ -969,33 +1111,35 @@ class GridSimulator:
 
         Cheap enough to call repeatedly; always available (zeros on calm
         grids), with ``"health"`` / ``"resubmit"`` sections present only
-        when those services are configured.
+        when those services are configured.  Every value is read through
+        :attr:`metrics` — this is a view over the registry, not a
+        parallel set of books.
         """
+        m = self.metrics
         report: dict = {
-            "outages_started": sum(
-                p.outages_started for p in self.outage_processes
-            ),
-            "storms_started": 0,
-            "jobs_killed": {s.name: s.jobs_killed for s in self.sites},
+            "outages_started": m.value("weather.outages_started"),
+            "storms_started": m.value("weather.storms_started"),
+            "jobs_killed": {
+                s.name: m.value(f"site.{s.name}.jobs_killed")
+                for s in self.sites
+            },
             "black_hole_failures": {
-                s.name: s.jobs_failed_bh for s in self.sites
+                s.name: m.value(f"site.{s.name}.black_hole_failures")
+                for s in self.sites
             },
         }
-        if self.storm is not None:
-            report["storms_started"] = self.storm.storms_started
-            report["outages_started"] += self.storm.outages_started
         if self._mw is not None:
             report["brokers"] = self._mw.report()
             report["duplicates"] = {
-                "created": self._mw.duplicates,
-                "reconciled": self.duplicates_reconciled,
+                "created": m.value("mw.duplicates"),
+                "reconciled": m.value("grid.duplicates_reconciled"),
             }
         if self._health is not None:
-            report["health"] = self._health.report()
+            report["health"] = m.value("health.report")
         if self._agent is not None:
             report["resubmit"] = {
-                "detected": self._agent.detected,
-                "resubmissions": self._agent.resubmissions,
+                "detected": m.value("resubmit.detected"),
+                "resubmissions": m.value("resubmit.resubmissions"),
             }
         return report
 

@@ -34,22 +34,27 @@ class GridSample:
     utilization:
         ``busy_cores / total_cores``.
     jobs_submitted:
-        Cumulative client submissions at sample time.
+        Cumulative client submissions at sample time (the registry's
+        ``grid.jobs_submitted`` gauge).
     jobs_completed:
-        Cumulative completions across all sites (both lanes).  On the
-        vectorised site engine this is a reconciled lazy count — sampling
-        it is one of the interaction points that advances the background
-        lane to the sample time.
+        Cumulative completions across all sites (the registry's
+        ``grid.jobs_completed`` gauge, both lanes).  On the vectorised
+        site engine this is a reconciled lazy count — sampling it is one
+        of the interaction points that advances the background lane to
+        the sample time.
     outages_started:
-        Cumulative site-down events at sample time (per-site renewal
-        outages plus storm hits); 0 on calm grids.
+        Cumulative site-down events at sample time (the registry's
+        ``weather.outages_started`` gauge: per-site renewal outages plus
+        storm hits); 0 on calm grids.
     broker_submits, broker_rejects, failovers, breaker_trips,
     duplicates_reconciled:
         Cumulative middleware fault-domain counters (submit attempts
         through the resilient path, client-visible submit errors,
         breaker-driven broker failovers, breaker trips, at-least-once
-        duplicates cleaned up by sibling-cancel); all 0 on grids without
-        a middleware fault domain.
+        duplicates cleaned up by sibling-cancel), read from the
+        ``mw.<broker>.*`` registry counters the submission path
+        increments in place; all 0 on grids without a middleware fault
+        domain.
     """
 
     time: float
@@ -71,7 +76,10 @@ class GridMonitor:
     """Periodic sampler attached to a :class:`GridSimulator`.
 
     Call :meth:`start` once; samples accumulate every ``period`` virtual
-    seconds until :meth:`stop` (or for ``max_samples``).
+    seconds until :meth:`stop` (or for ``max_samples``).  Each tick is a
+    read-only pass over the grid's
+    :class:`~repro.gridsim.registry.MetricsRegistry` (plus the live
+    queue/core gauges) — the monitor keeps no counters of its own.
     """
 
     grid: GridSimulator
@@ -101,18 +109,17 @@ class GridMonitor:
             self._running = False
             return
         grid = self.grid
-        outages = sum(p.outages_started for p in grid.outage_processes)
-        if grid.storm is not None:
-            outages += grid.storm.outages_started
+        m = grid.metrics
         mw_kwargs = {}
         if grid._mw is not None:
+            # totals() is itself a view over the mw.* registry counters
             totals = grid._mw.totals()
             mw_kwargs = dict(
                 broker_submits=totals["submits"],
                 broker_rejects=totals["rejects"],
                 failovers=totals["failovers"],
                 breaker_trips=totals["breaker_trips"],
-                duplicates_reconciled=grid.duplicates_reconciled,
+                duplicates_reconciled=m.value("grid.duplicates_reconciled"),
             )
         self.samples.append(
             GridSample(
@@ -120,9 +127,9 @@ class GridMonitor:
                 queued=grid.total_queue_length(),
                 busy_cores=grid.total_busy_cores(),
                 utilization=grid.utilization(),
-                jobs_submitted=grid.jobs_submitted,
-                jobs_completed=sum(s.jobs_completed for s in grid.sites),
-                outages_started=outages,
+                jobs_submitted=m.value("grid.jobs_submitted"),
+                jobs_completed=m.value("grid.jobs_completed"),
+                outages_started=m.value("weather.outages_started"),
                 **mw_kwargs,
             )
         )

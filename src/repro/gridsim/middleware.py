@@ -181,13 +181,25 @@ class MiddlewareDomain:
         self.faults = faults
         self._chaos_rng = chaos_rng
         self._jitter_rng = jitter_rng
-        n = len(grid.brokers)
-        #: per-broker counters, aligned with ``grid.brokers``
-        self.stats = [dict.fromkeys(_STAT_KEYS, 0) for _ in range(n)]
+        #: per-broker counters, aligned with ``grid.brokers``; the
+        #: Counter objects live in the grid's MetricsRegistry, so
+        #: ``mw.<broker>.<key>`` reads there see the same cells the hot
+        #: path increments — one set of books, not two
+        reg = grid.metrics
+        self.stats = [
+            {
+                key: reg.counter(f"mw.{getattr(b, 'name', str(i))}.{key}")
+                for key in _STAT_KEYS
+            }
+            for i, b in enumerate(grid.brokers)
+        ]
         #: per-broker breakers (empty without a retry policy — failover
         #: is meaningless for a client that never retries)
         self.breakers = (
-            [CircuitBreaker(retry.breaker_threshold, retry.breaker_reset) for _ in range(n)]
+            [
+                CircuitBreaker(retry.breaker_threshold, retry.breaker_reset)
+                for _ in grid.brokers
+            ]
             if retry is not None
             else []
         )
@@ -203,6 +215,9 @@ class MiddlewareDomain:
         grid.jobs_submitted += 1
         if task is not None:
             task.client_attempts += 1
+            tr = grid._tr
+            if tr is not None:
+                tr.submit(task, job)
         self._attempt(job, on_start, via, task, 0)
         return job
 
@@ -222,7 +237,7 @@ class MiddlewareDomain:
         for k in range(1, n):
             i = (pref + k) % n
             if breakers[i].allow(now):
-                self.stats[i]["failovers"] += 1
+                self.stats[i]["failovers"].inc()
                 return i
         # every breaker open: hammer the preferred one anyway (there is
         # nowhere better, and the attempt doubles as a half-open trial)
@@ -232,16 +247,21 @@ class MiddlewareDomain:
         grid = self.grid
         idx = self._choose(self._preferred(via), grid.sim.now)
         stats = self.stats[idx]
-        stats["submits"] += 1
+        stats["submits"].inc()
         broker = grid.brokers[idx]
+        tr = grid._tr
+        if tr is not None:
+            tr.hop(job, broker)
         if not broker.accepting:
             if broker.outage_mode == "black-hole":
                 # the broker swallowed the call; the client only learns
                 # at its own submit timeout (if it has one)
-                stats["black_holed"] += 1
+                stats["black_holed"].inc()
                 policy = self.retry
                 if policy is None or task is None:
                     job.state = JobState.LOST
+                    if tr is not None:
+                        tr.fail(job, "lost")
                     return
                 task.retry_pending += 1
                 task.arm(
@@ -250,7 +270,7 @@ class MiddlewareDomain:
                 )
                 return
             # synchronous rejection
-            stats["rejects"] += 1
+            stats["rejects"].inc()
             self._failed(job, on_start, via, task, idx, attempt)
             return
         f = self.faults
@@ -259,7 +279,7 @@ class MiddlewareDomain:
             and f.p_fail > 0.0
             and self._chaos_rng.random() < f.p_fail
         ):
-            stats["rejects"] += 1
+            stats["rejects"].inc()
             if f.p_landed > 0.0 and self._chaos_rng.random() < f.p_landed:
                 self._landed(job, on_start, via, task, idx, attempt, broker)
             else:
@@ -278,8 +298,11 @@ class MiddlewareDomain:
         if self.breakers:
             self.breakers[idx].record_failure(grid.sim.now)
         policy = self.retry
+        tr = grid._tr
         if policy is None or task is None or attempt + 1 >= policy.max_attempts:
             job.state = JobState.LOST
+            if tr is not None:
+                tr.fail(job, "lost")
             return
         delay = min(
             policy.backoff_base * policy.backoff_factor**attempt,
@@ -290,6 +313,8 @@ class MiddlewareDomain:
                 2.0 * self._jitter_rng.random() - 1.0
             )
         task.retry_pending += 1
+        if tr is not None:
+            tr.retry(job, attempt + 1, delay)
         task.arm(delay, partial(self._retry, job, on_start, via, task, attempt + 1))
 
     def _retry(self, job: Job, on_start, via, task, attempt: int) -> None:
@@ -302,6 +327,9 @@ class MiddlewareDomain:
         grid.jobs_submitted += 1
         task.client_attempts += 1
         job.submit_time = grid.sim.now
+        tr = grid._tr
+        if tr is not None:
+            tr.submit(task, job)
         self._attempt(job, on_start, via, task, attempt)
 
     def _ack_timeout(self, job: Job, on_start, via, task, idx: int, attempt: int) -> None:
@@ -331,10 +359,15 @@ class MiddlewareDomain:
             self.breakers[idx].record_failure(grid.sim.now)
         job.duplicate = True
         self.duplicates += 1
+        tr = grid._tr
+        if tr is not None:
+            tr.dup(job)
         grid._submit_plain(job, on_start, broker)
         retry_job = Job(runtime=job.runtime, tag=job.tag, vo=job.vo)
         task.jobs_used += 1
         task.active_jobs.append(retry_job)
+        if tr is not None:
+            tr.adopt(task, retry_job)
         if grid.task_ledger is not None:
             grid.task_ledger.append((task, retry_job))
         agent = grid._agent
@@ -344,6 +377,8 @@ class MiddlewareDomain:
             # out of budget: the fresh copy dies unsubmitted, but the
             # landed ghost is still in flight and can win the task
             retry_job.state = JobState.LOST
+            if tr is not None:
+                tr.fail(retry_job, "lost")
             return
         delay = min(
             policy.backoff_base * policy.backoff_factor**attempt,
@@ -354,16 +389,22 @@ class MiddlewareDomain:
                 2.0 * self._jitter_rng.random() - 1.0
             )
         task.retry_pending += 1
+        if tr is not None:
+            tr.retry(retry_job, attempt + 1, delay)
         task.arm(delay, partial(self._retry, retry_job, on_start, via, task, attempt + 1))
 
     # -- telemetry -------------------------------------------------------
 
     def totals(self) -> dict:
-        """Cross-broker counter totals (cheap; the monitor samples this)."""
+        """Cross-broker counter totals (cheap; the monitor samples this).
+
+        Plain-int view over the registry counters the submission path
+        increments in place.
+        """
         out = dict.fromkeys(_STAT_KEYS, 0)
         for stats in self.stats:
             for k in _STAT_KEYS:
-                out[k] += stats[k]
+                out[k] += stats[k].value
         out["breaker_trips"] = sum(b.trips for b in self.breakers)
         out["duplicates"] = self.duplicates
         return out
@@ -373,7 +414,7 @@ class MiddlewareDomain:
         grid = self.grid
         out = {}
         for i, broker in enumerate(grid.brokers):
-            entry = dict(self.stats[i])
+            entry = {k: self.stats[i][k].value for k in _STAT_KEYS}
             entry["outages"] = broker.outages_started
             if self.breakers:
                 entry["breaker_trips"] = self.breakers[i].trips

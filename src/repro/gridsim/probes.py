@@ -33,6 +33,7 @@ class _ProbeSlot(TaskCore):
     __slots__ = ("exp",)
 
     tag = "probe"
+    trace_label = "probe"
 
     def __init__(self, exp: "ProbeExperiment") -> None:
         super().__init__(exp.grid, exp.probe_runtime)

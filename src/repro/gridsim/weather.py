@@ -343,6 +343,9 @@ class ResubmissionAgent:
     keep their own timeouts and their own resubmission logic.
     """
 
+    #: task-lifecycle recorder (grid-assigned on traced runs)
+    _tr = None
+
     def __init__(self, sim: "Simulator", config: ResubmitConfig) -> None:
         self.sim = sim
         self.config = config
@@ -392,5 +395,7 @@ class ResubmissionAgent:
         if task.done:
             return  # a sibling copy started while the backoff ran
         self.resubmissions += 1
+        if self._tr is not None:
+            self._tr.rescue(task)
         # submit_copy registers the new job with this agent again
         task.submit_copy()

@@ -86,6 +86,10 @@ class PopulationResult:
         ``"brokers"`` section (per-broker submits/rejects/failovers,
         outage and breaker counters) and the ``"duplicates"``
         created/reconciled ledger.
+    metrics:
+        Full :meth:`~repro.gridsim.registry.MetricsRegistry.snapshot`
+        of the grid's registry at the end of the run — every counter,
+        gauge and histogram any subsystem published, as plain data.
     """
 
     fleets: tuple[FleetOutcome, ...]
@@ -95,6 +99,7 @@ class PopulationResult:
     broker_dispatches: tuple[int, ...]
     site_usage_shares: dict[str, dict[str, float]]
     weather: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def total_finished(self) -> int:
@@ -243,4 +248,5 @@ def run_population(
         ),
         site_usage_shares=usage,
         weather=grid.weather_report(),
+        metrics=grid.metrics.snapshot(),
     )

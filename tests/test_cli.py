@@ -160,6 +160,70 @@ class TestChaos:
         assert code == 2 and "n_tasks" in text
 
 
+class TestTraceReport:
+    def test_trace_then_report_round_trip(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        code, text = run_cli(
+            "chaos",
+            "--schedule",
+            "storm-broker-site",
+            "--trace",
+            str(trace),
+            "--tasks",
+            "10",
+            "--horizon",
+            "21600",
+        )
+        assert code == 0
+        assert trace.exists()
+        assert f"wrote {trace}" in text
+        # only the named schedule ran
+        assert "storm-broker-site" in text
+        assert "dup-on-retry" not in text
+
+        report_out = tmp_path / "report.txt"
+        gwf = tmp_path / "trace.gwf"
+        code, text = run_cli(
+            "report", str(trace), "--out", str(report_out), "--gwf", str(gwf)
+        )
+        assert code == 0
+        assert "Latency decomposition by strategy" in text
+        assert "Latency decomposition by VO" in text
+        assert "Latency decomposition by strategy" in report_out.read_text()
+        assert gwf.exists() and "GWF rows" in text
+
+    def test_trace_requires_schedule(self, tmp_path):
+        code, text = run_cli("chaos", "--trace", str(tmp_path / "t.jsonl"))
+        assert code == 2 and "--trace requires --schedule" in text
+
+    def test_trace_rejects_matrix(self, tmp_path):
+        code, text = run_cli(
+            "chaos",
+            "--matrix",
+            "--schedule",
+            "dup-on-retry",
+            "--trace",
+            str(tmp_path / "t.jsonl"),
+        )
+        assert code == 2 and "incompatible with --matrix" in text
+
+    def test_unknown_schedule_lists_available(self):
+        code, text = run_cli("chaos", "--schedule", "nope")
+        assert code == 2
+        assert "unknown schedule" in text and "storm-broker-site" in text
+
+    def test_report_unreadable_trace(self, tmp_path):
+        code, text = run_cli("report", str(tmp_path / "missing.jsonl"))
+        assert code == 2 and "cannot read trace" in text
+
+    def test_report_on_empty_trace_still_succeeds(self, tmp_path):
+        trace = tmp_path / "empty.jsonl"
+        trace.write_text("# no events\n", encoding="utf-8")
+        code, text = run_cli("report", str(trace))
+        assert code == 0
+        assert "0 completed tasks" in text
+
+
 class TestBench:
     def test_bench_invokes_harness_with_passthrough_flags(self):
         from repro.cli import _cmd_bench, build_parser
@@ -210,6 +274,33 @@ class TestBench:
         (cmd,) = calls
         assert "--profile" in cmd
         assert cmd[cmd.index("--profile-rows") + 1] == "40"
+
+    def test_bench_profile_out_passthrough(self):
+        from repro.cli import _cmd_bench, build_parser
+
+        args = build_parser().parse_args(
+            ["bench", "--profile", "--profile-out", "prof.txt"]
+        )
+        calls = []
+        code = _cmd_bench(
+            args, io.StringIO(), runner=lambda cmd: calls.append(cmd) or 0
+        )
+        assert code == 0
+        (cmd,) = calls
+        assert cmd[cmd.index("--profile-out") + 1] == "prof.txt"
+
+    def test_bench_harness_refuses_profile_out_without_profile(self):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[1] / "benchmarks" / "run_benchmarks.py"
+        )
+        spec = importlib.util.spec_from_file_location("run_benchmarks", script)
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        with pytest.raises(SystemExit, match="--profile-out"):
+            mod.main(["--profile-out", "p.txt"])
 
     def test_bench_harness_refuses_profile_with_update(self):
         import importlib.util
