@@ -55,6 +55,7 @@ def run_pytest_benchmarks(
     suites: list[Path],
     *,
     large: bool = False,
+    mem: bool = False,
     keyword: str | None = None,
     profile_path: Path | None = None,
 ) -> dict:
@@ -70,6 +71,8 @@ def run_pytest_benchmarks(
     env = dict(os.environ)
     if large:
         env["REPRO_BENCH_LARGE"] = "1"
+    if mem:
+        env["REPRO_BENCH_MEM"] = "1"
     src = str(REPO_ROOT / "src")
     env["PYTHONPATH"] = src + (
         os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
@@ -117,12 +120,16 @@ def distill(report: dict) -> dict:
     out = {}
     for bench in report.get("benchmarks", []):
         stats = bench["stats"]
-        out[bench["name"]] = {
+        entry = {
             "min": stats["min"],
             "mean": stats["mean"],
             "stddev": stats["stddev"],
             "rounds": stats["rounds"],
         }
+        peak = (bench.get("extra_info") or {}).get("mem_peak_bytes")
+        if peak is not None:
+            entry["mem_peak_bytes"] = int(peak)
+        out[bench["name"]] = entry
     return dict(sorted(out.items()))
 
 
@@ -147,12 +154,28 @@ def compare(results: dict, baseline: dict, threshold: float) -> tuple[bool, str]
     """Build the comparison table; (ok, text) — ok is False on regression."""
     base = baseline.get("benchmarks", {})
     ok = True
+    track_mem = any("mem_peak_bytes" in s for s in results.values())
     width = max((len(n) for n in results), default=10) + 2
-    lines = [f"{'benchmark'.ljust(width)}{'mean':>12}{'baseline':>12}{'ratio':>8}"]
+    header = f"{'benchmark'.ljust(width)}{'mean':>12}{'baseline':>12}{'ratio':>8}"
+    if track_mem:
+        header += f"{'mem peak':>12}"
+    lines = [header]
+
+    def mem_col(stats: dict) -> str:
+        if not track_mem:
+            return ""
+        peak = stats.get("mem_peak_bytes")
+        if peak is None:
+            return f"{'-':>12}"
+        return f"{peak / 1e6:>10.1f}MB"
+
     for name, stats in results.items():
         ref = base.get(name)
         if ref is None:
-            lines.append(f"{name.ljust(width)}{stats['mean']:12.6f}{'new':>12}{'':>8}")
+            lines.append(
+                f"{name.ljust(width)}{stats['mean']:12.6f}{'new':>12}{'':>8}"
+                + mem_col(stats)
+            )
             continue
         ratio = stats["mean"] / ref["mean"] if ref["mean"] > 0 else float("inf")
         flag = ""
@@ -163,7 +186,7 @@ def compare(results: dict, baseline: dict, threshold: float) -> tuple[bool, str]
             flag = "  improved"
         lines.append(
             f"{name.ljust(width)}{stats['mean']:12.6f}{ref['mean']:12.6f}"
-            f"{ratio:8.2f}{flag}"
+            f"{ratio:8.2f}{mem_col(stats)}{flag}"
         )
     missing = sorted(set(base) - set(results))
     for name in missing:
@@ -215,6 +238,15 @@ def main(argv: list[str] | None = None) -> int:
             "also run the opt-in large-scale benches (sets "
             "REPRO_BENCH_LARGE=1: the 10^4-task multi-VO adoption sweep "
             "and the 10^5-task population day)"
+        ),
+    )
+    parser.add_argument(
+        "--mem",
+        action="store_true",
+        help=(
+            "also measure each bench body's tracemalloc allocation peak "
+            "(one extra untimed pass per bench, sets REPRO_BENCH_MEM=1); "
+            "adds a 'mem peak' column to the comparison table"
         ),
     )
     parser.add_argument(
@@ -288,7 +320,10 @@ def main(argv: list[str] | None = None) -> int:
 
     results = distill(
         run_pytest_benchmarks(
-            [Path(s) for s in args.suite], large=args.large, keyword=args.filter
+            [Path(s) for s in args.suite],
+            large=args.large,
+            mem=args.mem,
+            keyword=args.filter,
         )
     )
     if not results:

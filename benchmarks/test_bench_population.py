@@ -34,50 +34,13 @@ from repro.traces.generator import DiurnalProfile
 RUN_LARGE = os.environ.get("REPRO_BENCH_LARGE", "") not in ("", "0")
 
 
-def fleet_grid_config():
-    """The 16-site / 4096-core fair-share grid of the population day."""
-    from repro.gridsim import GridConfig, SiteConfig
-
-    sites = tuple(
-        SiteConfig(
-            name=f"big{i:02d}",
-            n_cores=256,
-            utilization=0.8,
-            runtime_median=1800.0,
-            vo_shares=(("biomed", 0.5), ("atlas", 0.3), ("cms", 0.2)),
-        )
-        for i in range(16)
-    )
-    return GridConfig(sites=sites)
-
-
-def fleet_population_spec(scale: int) -> PopulationSpec:
-    """Four fleets totalling ``scale`` short tasks across a diurnal day."""
-    def n(frac: float) -> int:
-        return int(scale * frac)
-
-    return PopulationSpec(
-        fleets=(
-            FleetSpec(
-                "biomed", SingleResubmission(t_inf=4000.0), n(0.35), runtime=120.0
-            ),
-            FleetSpec(
-                "biomed",
-                MultipleSubmission(b=3, t_inf=4000.0),
-                n(0.15),
-                runtime=120.0,
-                label="biomed/adopters",
-            ),
-            FleetSpec(
-                "atlas", SingleResubmission(t_inf=4000.0), n(0.30), runtime=120.0
-            ),
-            FleetSpec(
-                "cms", SingleResubmission(t_inf=4000.0), n(0.20), runtime=120.0
-            ),
-        ),
-        window=86_400.0,
-        diurnal=DiurnalProfile(amplitude=0.4),
-    )
+# the canonical fleet-scale workload now lives with the runtime so the
+# CLI, the example and the benches all measure the same population day
+from repro.population.presets import (
+    fleet_grid_config,
+    fleet_population_spec,
+    fleet_sites_for,
+)
 
 
 def test_bench_multi_vo_population(benchmark):
@@ -150,6 +113,35 @@ def test_bench_population_100k(benchmark):
     result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
     assert result.total_finished + result.total_gave_up == 100_000
     assert result.total_finished > 80_000
+
+
+@pytest.mark.skipif(
+    not RUN_LARGE, reason="set REPRO_BENCH_LARGE=1 (or --large) to run"
+)
+def test_bench_population_1m(benchmark):
+    """10⁶ tasks in one day: the population-1m milestone (opt-in).
+
+    Ten times the 100k day on ten times the grid (160 fair-share sites
+    / 40960 cores — ``fleet_sites_for`` keeps the per-site regime
+    identical, a 16-site day saturates at this scale), run through the
+    struct-of-arrays pool.  The point of this bench is *completing* at
+    this scale in minutes on one core (the weekly population-smoke job
+    runs it and uploads the JSON artifact); the per-run number tracks
+    the pool's O(tasks) scaling against the 100k bench.
+    """
+    snap = warmed_snapshot(
+        fleet_grid_config(fleet_sites_for(1_000_000)),
+        seed=41,
+        duration=6 * 3600.0,
+    )
+    spec = fleet_population_spec(1_000_000)
+
+    def run():
+        return run_population(snap.restore(), spec, seed=41)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    assert result.total_finished + result.total_gave_up == 1_000_000
+    assert result.total_finished > 800_000
 
 
 @pytest.mark.skipif(

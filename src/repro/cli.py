@@ -5,6 +5,7 @@ Usage::
     python -m repro list
     python -m repro run table2 --seed 2009 --dt 1.0
     python -m repro run all --out results/ --jobs 4
+    python -m repro population --scale 100000 --shards 4
     python -m repro describe 2006-IX
     python -m repro bench --threshold 1.5
     python -m repro chaos --schedule storm-broker-site --trace trace.jsonl
@@ -112,6 +113,51 @@ def build_parser() -> argparse.ArgumentParser:
         help="federated staleness towards non-owned sites (s)",
     )
     fed_p.add_argument("--seed", type=int, default=29)
+
+    pop_p = sub.add_parser(
+        "population",
+        help="run the fleet-scale population day (optionally sharded)",
+    )
+    pop_p.add_argument(
+        "--scale",
+        type=int,
+        default=20_000,
+        help="total tasks across the four preset fleets",
+    )
+    pop_p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "worker processes; sites are partitioned round-robin and "
+            "cross-shard WMS traffic is batched per dispatch sub-window "
+            "(1 = in-process, bit-identical to the unsharded runtime)"
+        ),
+    )
+    pop_p.add_argument(
+        "--sites",
+        type=int,
+        default=None,
+        help="number of fair-share sites (default: scaled with --scale)",
+    )
+    pop_p.add_argument(
+        "--cores", type=int, default=256, help="cores per site"
+    )
+    pop_p.add_argument(
+        "--engine",
+        choices=("auto", "soa", "legacy"),
+        default=None,
+        help=(
+            "population engine for --shards 1 (default: auto picks the "
+            "struct-of-arrays pool); sharded runs always use the pool"
+        ),
+    )
+    pop_p.add_argument(
+        "--seed", type=int, default=41, help="launch-schedule seed"
+    )
+    pop_p.add_argument(
+        "--grid-seed", type=int, default=41, help="grid warm-up seed"
+    )
 
     weather_p = sub.add_parser(
         "weather",
@@ -264,6 +310,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--large",
         action="store_true",
         help="also run the opt-in large-scale benches (REPRO_BENCH_LARGE=1)",
+    )
+    bench_p.add_argument(
+        "--mem",
+        action="store_true",
+        help=(
+            "also record each bench body's tracemalloc allocation peak "
+            "(one extra untimed pass per bench)"
+        ),
     )
     bench_p.add_argument(
         "--filter",
@@ -440,6 +494,77 @@ def _cmd_federation(args, out) -> int:
                 site, *(format_percent(shares[vo], 1) for vo in vo_names)
             )
         out.write("\n" + usage.render() + "\n")
+    return 0
+
+
+def _cmd_population(args, out) -> int:
+    """Run the preset population day, in one process or sharded."""
+    import time
+
+    from repro.gridsim import warmed_snapshot
+    from repro.population import run_population, run_population_sharded
+    from repro.population.presets import (
+        fleet_grid_config,
+        fleet_population_spec,
+        fleet_sites_for,
+    )
+    from repro.util.tables import Table, format_float, format_seconds
+
+    if args.scale < 0:
+        out.write(f"error: --scale must be >= 0, got {args.scale}\n")
+        return 2
+    if args.engine is not None and args.shards != 1:
+        out.write("error: --engine only applies to --shards 1 runs\n")
+        return 2
+    n_sites = args.sites if args.sites is not None else fleet_sites_for(args.scale)
+    try:
+        config = fleet_grid_config(n_sites, args.cores)
+        spec = fleet_population_spec(args.scale)
+        t0 = time.perf_counter()
+        if args.shards == 1 and args.engine is not None:
+            grid = warmed_snapshot(
+                config, seed=args.grid_seed, duration=6 * 3600.0
+            ).restore()
+            result = run_population(grid, spec, seed=args.seed, engine=args.engine)
+        else:
+            result = run_population_sharded(
+                config,
+                spec,
+                shards=args.shards,
+                seed=args.seed,
+                grid_seed=args.grid_seed,
+            )
+        wall = time.perf_counter() - t0
+    except ValueError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+
+    table = Table(
+        title=(
+            f"population day: {spec.total_tasks} tasks on {n_sites} "
+            f"sites x {args.cores} cores, {args.shards} shard(s)"
+        ),
+        columns=["fleet", "tasks", "mean J", "median J", "jobs/task", "gave up"],
+    )
+    for f in result.fleets:
+        table.add_row(
+            f.spec.label,
+            f.spec.n_tasks,
+            format_seconds(f.mean_j),
+            format_seconds(f.median_j),
+            format_float(f.mean_jobs, 2),
+            f.gave_up,
+        )
+    out.write(table.render() + "\n")
+    rate = spec.total_tasks / wall if wall > 0 else 0.0
+    out.write(
+        f"\nfinished {result.total_finished}/{spec.total_tasks} tasks in "
+        f"{wall:.1f}s wall ({rate:.0f} tasks/s), "
+        f"virtual span {result.duration:.0f}s\n"
+        f"broker dispatches: "
+        + ", ".join(str(d) for d in result.broker_dispatches)
+        + "\n"
+    )
     return 0
 
 
@@ -728,6 +853,8 @@ def _cmd_bench(args, out, runner=subprocess.call) -> int:
         cmd += ["--report", str(args.report)]
     if args.large:
         cmd.append("--large")
+    if args.mem:
+        cmd.append("--mem")
     if args.filter:
         cmd += ["--filter", args.filter]
     if args.profile:
@@ -749,6 +876,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
         return _cmd_run(args, out)
     if args.command == "federation":
         return _cmd_federation(args, out)
+    if args.command == "population":
+        return _cmd_population(args, out)
     if args.command == "weather":
         return _cmd_weather(args, out)
     if args.command == "chaos":

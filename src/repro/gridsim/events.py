@@ -243,6 +243,16 @@ class Simulator:
 
     # -- pooled timer wheel ----------------------------------------------
 
+    def pooled_boundary(self, delay: float) -> float:
+        """The absolute instant a pooled timer armed now would fire at.
+
+        Exposed so batching layers (the SoA population pool) can key
+        their own per-boundary blocks by exactly the wheel's rounding —
+        deadline rounded up to the next ``pooled_granularity`` multiple.
+        """
+        g = self.pooled_granularity
+        return math.ceil((self._now + delay) / g) * g
+
     def schedule_pooled(self, delay: float, callback: Callable[[], None]) -> PooledTimer:
         """Arm a cancellable timer on the coarse wheel.
 
@@ -257,8 +267,7 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        g = self.pooled_granularity
-        boundary = math.ceil((self._now + delay) / g) * g
+        boundary = self.pooled_boundary(delay)
         bucket = self._pool.get(boundary)
         if bucket is None:
             # first timer at this boundary (a fully-cancelled bucket

@@ -9,6 +9,7 @@ brokers dispatch on views the fleet load itself is ageing.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -16,11 +17,18 @@ import numpy as np
 
 from repro.gridsim.client import launch_task
 from repro.gridsim.grid import GridSimulator
+from repro.population.soa import TaskPool, pool_supported
 from repro.population.spec import FleetSpec, PopulationSpec
 from repro.util.rng import RngLike, as_rng, spawn_rngs
 from repro.util.validation import check_positive
 
 __all__ = ["FleetOutcome", "PopulationResult", "run_population"]
+
+#: run_population engines — "soa" is the struct-of-arrays pool
+#: (:mod:`repro.population.soa`), "legacy" the per-task TaskCore oracle,
+#: "auto" picks the pool whenever :func:`~repro.population.soa.pool_supported`
+#: says it is law-identical on this grid
+_ENGINES = ("auto", "soa", "legacy")
 
 
 @dataclass(frozen=True)
@@ -119,6 +127,60 @@ class PopulationResult:
         return {vo: np.concatenate(js) for vo, js in pools.items()}
 
 
+def _resolve_engine(engine: str | None, grid: GridSimulator, spec) -> str:
+    """Pick the execution engine (see :func:`run_population`)."""
+    if engine is None:
+        engine = os.environ.get("REPRO_POPULATION_ENGINE", "auto")
+    if engine not in _ENGINES:
+        raise ValueError(
+            f"unknown population engine {engine!r}; "
+            f"available: {', '.join(_ENGINES)}"
+        )
+    if engine == "legacy":
+        return "legacy"
+    supported = pool_supported(grid, spec.fleets)
+    if engine == "soa":
+        if not supported:
+            raise ValueError(
+                "engine='soa' needs a calm grid (no middleware fault "
+                "domain, resubmission agent, tracing or task ledger) and "
+                "the three paper strategies; use engine='auto' to fall "
+                "back to the legacy driver automatically"
+            )
+        return "soa"
+    return "soa" if supported else "legacy"
+
+
+def _assemble_result(
+    grid: GridSimulator,
+    outcomes: list[FleetOutcome],
+    *,
+    duration: float,
+    lost_before: int,
+    stuck_before: int,
+    dispatched_before: list[int],
+) -> PopulationResult:
+    """Wrap per-fleet outcomes with the grid's telemetry deltas."""
+    usage = {
+        site.name: site.usage_shares()
+        for site in grid.sites
+        if hasattr(site, "usage_shares")
+    }
+    return PopulationResult(
+        fleets=tuple(outcomes),
+        duration=duration,
+        jobs_lost=grid.jobs_lost - lost_before,
+        jobs_stuck=grid.jobs_stuck - stuck_before,
+        broker_dispatches=tuple(
+            b.dispatch_count - d0
+            for b, d0 in zip(grid.brokers, dispatched_before)
+        ),
+        site_usage_shares=usage,
+        weather=grid.weather_report(),
+        metrics=grid.metrics.snapshot(),
+    )
+
+
 def run_population(
     grid: GridSimulator,
     spec: PopulationSpec,
@@ -126,6 +188,7 @@ def run_population(
     seed: RngLike = 0,
     horizon_slack: float = 100_000.0,
     step: float = 3600.0,
+    engine: str | None = None,
 ) -> PopulationResult:
     """Run every fleet of ``spec`` concurrently on ``grid``.
 
@@ -152,15 +215,79 @@ def run_population(
         event-driven: the last task's completion stops the simulator at
         that exact instant instead of an advance loop polling every
         ``step`` seconds.
+    engine:
+        ``"soa"`` runs the struct-of-arrays task pool
+        (:mod:`repro.population.soa`), ``"legacy"`` the per-task
+        TaskCore oracle, ``"auto"`` (default, or
+        ``REPRO_POPULATION_ENGINE``) the pool whenever it is
+        law-identical on this grid — both produce bit-for-bit the same
+        result wherever the pool engages, pinned by
+        ``tests/test_population_soa.py``.
     """
     check_positive("horizon_slack", horizon_slack)
     del step  # retained for call-site compatibility only
+    resolved = _resolve_engine(engine, grid, spec)
     rngs = spawn_rngs(as_rng(seed), len(spec.fleets))
     start = grid.now
     lost_before, stuck_before = grid.jobs_lost, grid.jobs_stuck
     dispatched_before = [b.dispatch_count for b in grid.brokers]
+    all_times = [
+        spec.launch_times(fleet, rng) for fleet, rng in zip(spec.fleets, rngs)
+    ]
+    total = sum(t.size for t in all_times)
+
+    if total == 0:
+        # nothing to launch (no fleets, or every fleet has n_tasks=0):
+        # an empty result, without burning the horizon on a dead grid
+        outcomes = [
+            FleetOutcome(
+                spec=fleet,
+                j=np.array([]),
+                jobs_submitted=np.array([], dtype=np.int64),
+                gave_up=0,
+            )
+            for fleet in spec.fleets
+        ]
+        return _assemble_result(
+            grid,
+            outcomes,
+            duration=0.0,
+            lost_before=lost_before,
+            stuck_before=stuck_before,
+            dispatched_before=dispatched_before,
+        )
+
+    if resolved == "soa":
+        pool = TaskPool(
+            grid,
+            spec.fleets,
+            all_times,
+            start=start,
+            on_all_done=grid.sim.stop,
+        )
+        grid.run_until(start + spec.window + horizon_slack)
+        outcomes = []
+        for f, fleet in enumerate(spec.fleets):
+            j, jobs = pool.fleet_results(f)
+            outcomes.append(
+                FleetOutcome(
+                    spec=fleet,
+                    j=j,
+                    jobs_submitted=jobs,
+                    gave_up=fleet.n_tasks - j.size,
+                )
+            )
+        return _assemble_result(
+            grid,
+            outcomes,
+            duration=grid.now - start,
+            lost_before=lost_before,
+            stuck_before=stuck_before,
+            dispatched_before=dispatched_before,
+        )
+
     results: list[list[tuple[float, int]]] = [[] for _ in spec.fleets]
-    pending = [spec.total_tasks]
+    pending = [total]
 
     def on_done() -> None:
         pending[0] -= 1
@@ -168,9 +295,7 @@ def run_population(
             grid.sim.stop()
 
     launchers: list[partial] = []
-    all_times: list[np.ndarray] = []
-    for fleet, rng, sink in zip(spec.fleets, rngs, results):
-        all_times.append(spec.launch_times(fleet, rng))
+    for fleet, sink in zip(spec.fleets, results):
         launchers.append(
             partial(
                 launch_task,
@@ -191,32 +316,30 @@ def run_population(
     # the old per-event order exactly: equal launch instants fire
     # back-to-back inside one event body, just like their consecutive
     # insertion seqs made them do.
-    total = sum(t.size for t in all_times)
-    if total:
-        cat = np.concatenate(all_times)
-        fid = np.repeat(
-            np.arange(len(all_times), dtype=np.intp),
-            [t.size for t in all_times],
-        )
-        order = np.argsort(cat, kind="stable")
-        sorted_t = (cat[order] + start).tolist()
-        sorted_f = fid[order].tolist()
-        sim = grid.sim
-        cursor = [0]
+    cat = np.concatenate(all_times)
+    fid = np.repeat(
+        np.arange(len(all_times), dtype=np.intp),
+        [t.size for t in all_times],
+    )
+    order = np.argsort(cat, kind="stable")
+    sorted_t = (cat[order] + start).tolist()
+    sorted_f = fid[order].tolist()
+    sim = grid.sim
+    cursor = [0]
 
-        def fire() -> None:
-            i = cursor[0]
-            t = sorted_t[i]
+    def fire() -> None:
+        i = cursor[0]
+        t = sorted_t[i]
+        launchers[sorted_f[i]]()
+        i += 1
+        while i < total and sorted_t[i] == t:
             launchers[sorted_f[i]]()
             i += 1
-            while i < total and sorted_t[i] == t:
-                launchers[sorted_f[i]]()
-                i += 1
-            cursor[0] = i
-            if i < total:
-                sim.schedule_at(sorted_t[i], fire)
+        cursor[0] = i
+        if i < total:
+            sim.schedule_at(sorted_t[i], fire)
 
-        sim.schedule_at(sorted_t[0], fire)
+    sim.schedule_at(sorted_t[0], fire)
 
     grid.run_until(start + spec.window + horizon_slack)
 
@@ -232,21 +355,11 @@ def run_population(
                 gave_up=fleet.n_tasks - j.size,
             )
         )
-    usage = {
-        site.name: site.usage_shares()
-        for site in grid.sites
-        if hasattr(site, "usage_shares")
-    }
-    return PopulationResult(
-        fleets=tuple(outcomes),
+    return _assemble_result(
+        grid,
+        outcomes,
         duration=grid.now - start,
-        jobs_lost=grid.jobs_lost - lost_before,
-        jobs_stuck=grid.jobs_stuck - stuck_before,
-        broker_dispatches=tuple(
-            b.dispatch_count - d0
-            for b, d0 in zip(grid.brokers, dispatched_before)
-        ),
-        site_usage_shares=usage,
-        weather=grid.weather_report(),
-        metrics=grid.metrics.snapshot(),
+        lost_before=lost_before,
+        stuck_before=stuck_before,
+        dispatched_before=dispatched_before,
     )

@@ -58,8 +58,11 @@ class FleetSpec:
     def __post_init__(self) -> None:
         if not self.vo:
             raise ValueError("fleet vo must be non-empty")
-        if self.n_tasks < 1:
-            raise ValueError(f"n_tasks must be >= 1, got {self.n_tasks}")
+        if self.n_tasks < 0:
+            # zero is allowed: sweeps that carve adopters out of a VO's
+            # volume can leave an empty fleet, which simply contributes
+            # nothing (the driver returns empty outcome arrays for it)
+            raise ValueError(f"n_tasks must be >= 0, got {self.n_tasks}")
         check_positive("runtime", self.runtime)
         if not self.label:
             object.__setattr__(
@@ -88,8 +91,8 @@ class PopulationSpec:
     diurnal: DiurnalProfile | None = None
 
     def __post_init__(self) -> None:
-        if not self.fleets:
-            raise ValueError("population needs at least one fleet")
+        # an empty fleet tuple is legal: run_population returns an
+        # empty result without advancing the grid (degenerate sweeps)
         check_positive("window", self.window)
 
     @property

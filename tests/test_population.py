@@ -71,13 +71,19 @@ class TestSpecs:
         with pytest.raises(ValueError, match="vo must be non-empty"):
             FleetSpec("", SingleResubmission(t_inf=100.0), 5)
         with pytest.raises(ValueError, match="n_tasks"):
-            FleetSpec("v", SingleResubmission(t_inf=100.0), 0)
+            FleetSpec("v", SingleResubmission(t_inf=100.0), -1)
+        # zero tasks is legal: adoption sweeps can carve a VO down to
+        # an empty fleet, which simply contributes nothing
+        assert FleetSpec("v", SingleResubmission(t_inf=100.0), 0).n_tasks == 0
         with pytest.raises(ValueError, match="runtime"):
             FleetSpec("v", SingleResubmission(t_inf=100.0), 1, runtime=-1.0)
 
     def test_population_validation(self):
-        with pytest.raises(ValueError, match="at least one fleet"):
-            PopulationSpec(fleets=())
+        # an empty fleet tuple is legal (run_population returns an
+        # empty result); the window still has to be positive
+        assert PopulationSpec(fleets=()).total_tasks == 0
+        with pytest.raises(ValueError, match="window"):
+            PopulationSpec(fleets=(), window=0.0)
         spec = small_population()
         assert spec.total_tasks == 60 + 30 + 20
 
